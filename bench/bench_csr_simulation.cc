@@ -1,0 +1,87 @@
+// Reproduces the Section 6.1.4 in-text simulation: for the Q100 stream
+// (100 % of queries in a hot region of 20 % of the cube) and a cache sized
+// at 20 % of the cube, the query-level cache saturates at CSR ~= 0.42
+// because overlapping results are stored redundantly, while the chunk
+// cache — which shares overlapping chunks — approaches CSR ~= 1 (paper
+// measured 0.98) over a 5000-query stream.
+
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "core/chunk_cache_manager.h"
+#include "core/query_cache_manager.h"
+
+namespace chunkcache::bench {
+namespace {
+
+int Run() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  // 5000 queries unless explicitly overridden.
+  if (std::getenv("CHUNKCACHE_BENCH_QUERIES") == nullptr) {
+    config.stream_queries = 5000;
+  }
+  PrintSetup(config,
+             "Section 6.1.4 CSR simulation: redundant storage in query "
+             "caching (Q100, cache = hot-region size)");
+  auto system = System::Build(config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+
+  // Cache sized to hold the hot region comfortably under chunk caching:
+  // 20 % of the cube. We approximate "cube size" by the aggregate bytes of
+  // all hot-region rows across levels; the paper used 20 % of its 300 MB
+  // cube = 60 MB for a 10 MB base table. Scale equivalently: 6x the base
+  // table's bytes... the ratio that matters is cache >= hot region.
+  const uint64_t cache_bytes =
+      static_cast<uint64_t>(0.2 * 6.0 * config.num_tuples *
+                            sizeof(storage::AggTuple));
+
+  workload::WorkloadOptions wopts = workload::EqprStream(303);
+  wopts.hot_access_prob = 1.0;  // Q100
+
+  bool header = true;
+  {
+    if (!(*system)->ResetBackend().ok()) return 1;
+    core::ChunkManagerOptions opts;
+    opts.cache_bytes = cache_bytes;
+    opts.cost_model = config.cost_model;
+    core::ChunkCacheManager tier(&(*system)->engine(), opts);
+    workload::QueryGenerator gen(&(*system)->schema(), wopts);
+    auto result =
+        RunStream(&tier, &gen, config.stream_queries, config.cost_model);
+    if (!result.ok()) return 1;
+    result->stream = "Q100";
+    PrintResult(*result, header);
+    header = false;
+    std::printf("  -> chunk cache CSR after %llu queries: %.2f "
+                "(paper: 0.98)\n",
+                static_cast<unsigned long long>(config.stream_queries),
+                result->csr);
+  }
+  {
+    if (!(*system)->ResetBackend().ok()) return 1;
+    core::QueryManagerOptions opts;
+    opts.cache_bytes = cache_bytes;
+    opts.cost_model = config.cost_model;
+    core::QueryCacheManager tier(&(*system)->engine(), opts);
+    workload::QueryGenerator gen(&(*system)->schema(), wopts);
+    auto result =
+        RunStream(&tier, &gen, config.stream_queries, config.cost_model);
+    if (!result.ok()) return 1;
+    result->stream = "Q100";
+    PrintResult(*result, false);
+    std::printf("  -> query cache CSR after %llu queries: %.2f "
+                "(paper: 0.42; redundant storage caps reuse)\n",
+                static_cast<unsigned long long>(config.stream_queries),
+                result->csr);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace chunkcache::bench
+
+int main() { return chunkcache::bench::Run(); }

@@ -1,0 +1,190 @@
+// Micro-benchmarks (google-benchmark) for the substrates: B+Tree point
+// operations, bitmap combination, chunk-number computation
+// (ComputeChunkNums), hash aggregation throughput, and single-chunk
+// computation at the backend.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "chunks/chunking_scheme.h"
+#include "common/random.h"
+#include "index/bitmap.h"
+#include "index/btree.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace chunkcache {
+namespace {
+
+// ---------------------------------- BTree -----------------------------------
+
+void BM_BTreeInsert(benchmark::State& state) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  auto tree = index::BTree::Create(&pool);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    if (!tree->Insert(key++, index::BTreePayload{key, key}).ok()) {
+      state.SkipWithError("insert failed");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeGet(benchmark::State& state) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  auto tree = index::BTree::Create(&pool);
+  const uint64_t n = 100000;
+  for (uint64_t k = 0; k < n; ++k) {
+    (void)tree->Insert(k, index::BTreePayload{k, 0});
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(rng.Uniform(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  auto tree = index::BTree::Create(&pool);
+  std::vector<std::pair<uint64_t, index::BTreePayload>> input;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    input.emplace_back(k, index::BTreePayload{k, 0});
+  }
+  (void)tree->BulkLoad(input);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    (void)tree->ScanRange(1000, 1000 + state.range(0),
+                          [&](uint64_t, const index::BTreePayload& p) {
+                            sum += p.v1;
+                            return true;
+                          });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(100)->Arg(10000);
+
+// ---------------------------------- Bitmap ----------------------------------
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  index::Bitmap a(bits), b(bits);
+  Random rng(2);
+  for (uint64_t i = 0; i < bits / 16; ++i) a.Set(rng.Uniform(bits));
+  for (uint64_t i = 0; i < bits / 16; ++i) b.Set(rng.Uniform(bits));
+  for (auto _ : state) {
+    index::Bitmap c = a;
+    c.And(b);
+    benchmark::DoNotOptimize(c.CountSet());
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8));
+}
+BENCHMARK(BM_BitmapAnd)->Arg(500000);
+
+// ------------------------ Chunk machinery / aggregation ---------------------
+
+struct MicroSystem {
+  std::unique_ptr<schema::StarSchema> schema;
+  std::unique_ptr<chunks::ChunkingScheme> scheme;
+  storage::InMemoryDiskManager disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<backend::ChunkedFile> file;
+  std::unique_ptr<backend::BackendEngine> engine;
+
+  static MicroSystem* Get() {
+    static MicroSystem* system = [] {
+      auto* sys = new MicroSystem();
+      auto s = schema::BuildPaperSchema();
+      CHUNKCACHE_CHECK(s.ok());
+      sys->schema = std::make_unique<schema::StarSchema>(std::move(s).value());
+      chunks::ChunkingOptions copts;
+      copts.range_fraction = 0.1;
+      auto scheme = chunks::ChunkingScheme::Build(sys->schema.get(), copts,
+                                                  100000);
+      CHUNKCACHE_CHECK(scheme.ok());
+      sys->scheme = std::make_unique<chunks::ChunkingScheme>(
+          std::move(scheme).value());
+      sys->pool = std::make_unique<storage::BufferPool>(&sys->disk, 8192);
+      schema::FactGenOptions gen;
+      gen.num_tuples = 100000;
+      auto file = backend::ChunkedFile::BulkLoad(
+          sys->pool.get(), sys->scheme.get(),
+          schema::GenerateFactTuples(*sys->schema, gen));
+      CHUNKCACHE_CHECK(file.ok());
+      sys->file =
+          std::make_unique<backend::ChunkedFile>(std::move(file).value());
+      sys->engine = std::make_unique<backend::BackendEngine>(
+          sys->pool.get(), sys->file.get(), sys->scheme.get());
+      return sys;
+    }();
+    return system;
+  }
+};
+
+void BM_ComputeChunkNums(benchmark::State& state) {
+  MicroSystem* sys = MicroSystem::Get();
+  const chunks::GroupBySpec spec{{2, 1, 2, 1}, 4};
+  std::array<schema::OrdinalRange, storage::kMaxDims> sel{};
+  sel[0] = {5, 30};
+  sel[1] = {2, 15};
+  sel[2] = {3, 20};
+  sel[3] = {1, 8};
+  for (auto _ : state) {
+    uint64_t count = 0;
+    const auto box = sys->scheme->BoxForSelection(spec, sel);
+    box.ForEach(sys->scheme->GridFor(spec),
+                [&](uint64_t num, const chunks::ChunkCoords&) {
+                  benchmark::DoNotOptimize(num);
+                  ++count;
+                });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_ComputeChunkNums);
+
+void BM_HashAggregate100k(benchmark::State& state) {
+  MicroSystem* sys = MicroSystem::Get();
+  schema::FactGenOptions gen;
+  gen.num_tuples = 100000;
+  auto tuples = schema::GenerateFactTuples(*sys->schema, gen);
+  const chunks::GroupBySpec spec{{1, 1, 1, 1}, 4};
+  for (auto _ : state) {
+    backend::HashAggregator agg(sys->scheme.get(), spec);
+    for (const auto& t : tuples) agg.AddBase(t);
+    benchmark::DoNotOptimize(agg.TakeRows());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_HashAggregate100k);
+
+void BM_ComputeSingleChunk(benchmark::State& state) {
+  MicroSystem* sys = MicroSystem::Get();
+  const chunks::GroupBySpec spec{{2, 1, 2, 1}, 4};
+  const uint64_t num_chunks = sys->scheme->GridFor(spec).num_chunks();
+  uint64_t next = 0;
+  for (auto _ : state) {
+    WorkCounters work;
+    auto data = sys->engine->ComputeChunks(spec, {next % num_chunks}, {},
+                                           &work);
+    if (!data.ok()) state.SkipWithError("compute failed");
+    benchmark::DoNotOptimize(data);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComputeSingleChunk);
+
+}  // namespace
+}  // namespace chunkcache
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Clustering demo: shows the chunked file organization's side benefit
+// (paper Section 4.2 / Figure 7) — multidimensional clustering lets a
+// bitmap-selected row set land on far fewer pages than in a randomly
+// ordered file. Prints the page footprint of the same selection on both
+// organizations and the chunk runs behind it.
+//
+//   $ ./clustering_demo
+
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "index/bitmap_index.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+using namespace chunkcache;
+
+int main() {
+  auto schema_or = schema::BuildPaperSchema();
+  if (!schema_or.ok()) return 1;
+  auto schema = std::make_unique<schema::StarSchema>(
+      std::move(schema_or).value());
+  chunks::ChunkingOptions copts;
+  copts.range_fraction = 0.2;
+  auto scheme_or = chunks::ChunkingScheme::Build(schema.get(), copts, 100000);
+  if (!scheme_or.ok()) return 1;
+  auto scheme = std::make_unique<chunks::ChunkingScheme>(
+      std::move(scheme_or).value());
+
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 8192);
+  schema::FactGenOptions gen;
+  gen.num_tuples = 100000;
+
+  auto random_or = backend::ChunkedFile::BulkLoad(
+      &pool, scheme.get(), schema::GenerateFactTuples(*schema, gen),
+      /*clustered=*/false);
+  auto chunked_or = backend::ChunkedFile::BulkLoad(
+      &pool, scheme.get(), schema::GenerateFactTuples(*schema, gen),
+      /*clustered=*/true);
+  if (!random_or.ok() || !chunked_or.ok()) return 1;
+
+  std::printf("fact file: %llu tuples, %u data pages each\n\n",
+              (unsigned long long)random_or->num_tuples(),
+              random_or->fact_file().num_data_pages());
+
+  // The same selection "D0 member 7, D2 members 10..14" on both files:
+  // count the distinct pages holding matching rows.
+  auto footprint = [&](backend::ChunkedFile* file) {
+    std::set<uint32_t> pages;
+    uint64_t matches = 0;
+    (void)file->Scan([&](storage::RowId rid, const storage::Tuple& t) {
+      if (t.keys[0] == 7 && t.keys[2] >= 10 && t.keys[2] <= 14) {
+        pages.insert(file->fact_file().PageOfRow(rid));
+        ++matches;
+      }
+      return true;
+    });
+    std::printf("  %-8s file: %llu matching tuples on %zu distinct pages\n",
+                file->clustered() ? "chunked" : "random",
+                (unsigned long long)matches, pages.size());
+  };
+  std::printf("selection D0='D0.3.7' AND D2 IN ['D2.3.10','D2.3.14']:\n");
+  footprint(&*random_or);
+  footprint(&*chunked_or);
+
+  // Show the chunk interface: where those tuples live in the chunked file.
+  std::printf("\nchunk runs containing D0=7 (chunk index lookups):\n");
+  const chunks::GroupBySpec base = scheme->BaseSpec();
+  const auto& grid = scheme->GridFor(base);
+  const uint32_t r0 = scheme->dim_chunking(0).RangeOfValue(3, 7);
+  const uint32_t r2lo = scheme->dim_chunking(2).RangeOfValue(3, 10);
+  const uint32_t r2hi = scheme->dim_chunking(2).RangeOfValue(3, 14);
+  int shown = 0;
+  for (uint32_t c1 = 0; c1 < grid.NumRangesOnDim(1) && shown < 8; ++c1) {
+    for (uint32_t c2 = r2lo; c2 <= r2hi && shown < 8; ++c2) {
+      for (uint32_t c3 = 0; c3 < grid.NumRangesOnDim(3) && shown < 8; ++c3) {
+        const uint64_t num = grid.GetChunkNum({r0, c1, c2, c3});
+        auto run = chunked_or->ChunkRun(num);
+        if (run.ok()) {
+          std::printf("  chunk %6llu -> rows [%llu, %llu)\n",
+                      (unsigned long long)num,
+                      (unsigned long long)run->first,
+                      (unsigned long long)(run->first + run->second));
+          ++shown;
+        }
+      }
+    }
+  }
+  std::printf("\n(cost of reading one chunk ~ its run length; cost of the "
+              "same data in the random file ~ one page per tuple)\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Interactive star-join SQL shell over the chunk-caching middle tier.
+// Type the paper's star-join template against the Table 1 schema and watch
+// the chunk cache work; dot-commands inspect the system.
+//
+//   $ ./shell [num_tuples]
+//   chunkcache> SELECT D0.L1, SUM(dollar_sales) FROM Sales, D0 GROUP BY D0.L1
+//   chunkcache> .schema
+//   chunkcache> .cache
+//   chunkcache> .quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "core/chunk_cache_manager.h"
+#include "core/multi_range.h"
+#include "schema/synthetic.h"
+#include "sql/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+using namespace chunkcache;
+
+namespace {
+
+void PrintSchema(const schema::StarSchema& schema) {
+  std::printf("fact table %s(", schema.fact_name().c_str());
+  for (uint32_t d = 0; d < schema.num_dims(); ++d) {
+    std::printf("%s_id, ", schema.dimension(d).name.c_str());
+  }
+  std::printf("%s)\n", schema.measure_name().c_str());
+  for (uint32_t d = 0; d < schema.num_dims(); ++d) {
+    const auto& dim = schema.dimension(d);
+    std::printf("dimension %s: ", dim.name.c_str());
+    for (uint32_t l = 1; l <= dim.hierarchy.depth(); ++l) {
+      std::printf("%s%s(%u)", l > 1 ? " -> " : "",
+                  dim.hierarchy.LevelName(l).c_str(),
+                  dim.hierarchy.LevelCardinality(l));
+    }
+    std::printf("   members like '%s'\n",
+                dim.hierarchy.MemberName(dim.hierarchy.depth(), 0).c_str());
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "star-join SQL:\n"
+      "  SELECT D0.L2, D3.L2, SUM(dollar_sales) FROM Sales, D0, D3\n"
+      "  WHERE D0.L2 BETWEEN 'D0.2.5' AND 'D0.2.25' GROUP BY D0.L2, D3.L2\n"
+      "dot-commands: .schema  .cache  .reset  .help  .quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t tuples =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+
+  auto schema_or = schema::BuildPaperSchema();
+  if (!schema_or.ok()) return 1;
+  auto schema = std::make_unique<schema::StarSchema>(
+      std::move(schema_or).value());
+  chunks::ChunkingOptions copts;
+  copts.range_fraction = 0.1;
+  auto scheme_or = chunks::ChunkingScheme::Build(schema.get(), copts, tuples);
+  if (!scheme_or.ok()) return 1;
+  auto scheme = std::make_unique<chunks::ChunkingScheme>(
+      std::move(scheme_or).value());
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 2048);
+  schema::FactGenOptions gen;
+  gen.num_tuples = tuples;
+  auto file_or = backend::ChunkedFile::BulkLoad(
+      &pool, scheme.get(), schema::GenerateFactTuples(*schema, gen));
+  if (!file_or.ok()) return 1;
+  auto file = std::make_unique<backend::ChunkedFile>(
+      std::move(file_or).value());
+  backend::BackendEngine engine(&pool, file.get(), scheme.get());
+  if (!engine.BuildBitmapIndexes().ok()) return 1;
+  core::ChunkManagerOptions mopts;
+  mopts.enable_in_cache_aggregation = true;
+  core::ChunkCacheManager tier(&engine, mopts);
+  sql::SqlParser parser(schema.get());
+
+  std::printf("chunkcache shell — %llu synthetic sales facts loaded.\n",
+              (unsigned long long)tuples);
+  PrintHelp();
+
+  std::string line;
+  while (true) {
+    std::printf("chunkcache> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == ".schema") {
+      PrintSchema(*schema);
+      continue;
+    }
+    if (line == ".cache") {
+      const auto& cs = tier.chunk_cache().stats();
+      std::printf("chunks=%zu bytes=%llu/%llu hits=%llu lookups=%llu "
+                  "evictions=%llu\n",
+                  tier.chunk_cache().num_chunks(),
+                  (unsigned long long)tier.chunk_cache().bytes_used(),
+                  (unsigned long long)tier.chunk_cache().capacity_bytes(),
+                  (unsigned long long)cs.hits,
+                  (unsigned long long)cs.lookups,
+                  (unsigned long long)cs.evictions);
+      continue;
+    }
+    if (line == ".reset") {
+      tier.chunk_cache().Clear();
+      std::printf("cache cleared\n");
+      continue;
+    }
+    auto query = parser.ParseMulti(line);
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    core::QueryStats stats;
+    auto rows = core::ExecuteMultiRange(&tier, *query, &stats);
+    if (!rows.ok()) {
+      std::printf("error: %s\n", rows.status().ToString().c_str());
+      continue;
+    }
+    // Print up to 20 rows with member names resolved.
+    const size_t limit = std::min<size_t>(20, rows->size());
+    for (size_t i = 0; i < limit; ++i) {
+      const auto& r = (*rows)[i];
+      std::string key;
+      for (uint32_t d = 0; d < schema->num_dims(); ++d) {
+        const uint32_t level = query->group_by.levels[d];
+        if (level == 0) continue;
+        if (!key.empty()) key += ", ";
+        key += schema->dimension(d).hierarchy.MemberName(level, r.coords[d]);
+      }
+      std::printf("  %-50s  sum=%12.2f  count=%llu\n", key.c_str(), r.sum,
+                  (unsigned long long)r.count);
+    }
+    if (rows->size() > limit) {
+      std::printf("  ... (%zu rows total)\n", rows->size());
+    }
+    std::printf("[%zu rows; %llu/%llu chunks cached, %llu aggregated "
+                "in-cache, %llu computed; %llu pages, %llu tuples at "
+                "backend]\n",
+                rows->size(),
+                (unsigned long long)stats.chunks_from_cache,
+                (unsigned long long)stats.chunks_needed,
+                (unsigned long long)stats.chunks_from_aggregation,
+                (unsigned long long)stats.chunks_from_backend,
+                (unsigned long long)stats.backend_work.pages_read,
+                (unsigned long long)stats.backend_work.tuples_processed);
+  }
+  return 0;
+}

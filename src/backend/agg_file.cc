@@ -1,0 +1,125 @@
+#include "backend/agg_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace chunkcache::backend {
+
+using storage::AggTuple;
+using storage::kPageSize;
+using storage::PageGuard;
+using storage::PageId;
+
+namespace {
+
+void SerializeRow(const AggTuple& row, uint32_t num_dims, uint8_t* dst) {
+  std::memcpy(dst, row.coords.data(), num_dims * 4);
+  std::memcpy(dst + num_dims * 4, &row.sum, 8);
+  std::memcpy(dst + num_dims * 4 + 8, &row.count, 8);
+  std::memcpy(dst + num_dims * 4 + 16, &row.min_v, 8);
+  std::memcpy(dst + num_dims * 4 + 24, &row.max_v, 8);
+}
+
+void DeserializeRow(const uint8_t* src, uint32_t num_dims, AggTuple* row) {
+  std::memcpy(row->coords.data(), src, num_dims * 4);
+  std::memcpy(&row->sum, src + num_dims * 4, 8);
+  std::memcpy(&row->count, src + num_dims * 4 + 8, 8);
+  std::memcpy(&row->min_v, src + num_dims * 4 + 16, 8);
+  std::memcpy(&row->max_v, src + num_dims * 4 + 24, 8);
+}
+
+}  // namespace
+
+Result<AggFile> AggFile::Create(storage::BufferPool* pool, uint32_t num_dims) {
+  if (num_dims == 0 || num_dims > storage::kMaxDims) {
+    return Status::InvalidArgument("AggFile: bad dimension count");
+  }
+  const uint32_t file_id = pool->disk()->CreateFile();
+  AggFile f(pool, file_id, num_dims);
+  CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard, pool->Allocate(file_id));
+  auto* h = guard.page()->As<Header>();
+  h->magic = kMagic;
+  h->num_dims = num_dims;
+  h->num_rows = 0;
+  guard.MarkDirty();
+  return f;
+}
+
+Result<AggFile> AggFile::Open(storage::BufferPool* pool, uint32_t file_id) {
+  CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                              pool->Fetch(PageId{file_id, 0}));
+  const auto* h = guard.page()->As<Header>();
+  if (h->magic != kMagic) return Status::Corruption("AggFile: bad magic");
+  AggFile f(pool, file_id, h->num_dims);
+  f.num_rows_ = h->num_rows;
+  return f;
+}
+
+Result<uint64_t> AggFile::Append(const AggTuple& row) {
+  const uint64_t rid = num_rows_;
+  const uint32_t page_no = 1 + static_cast<uint32_t>(rid / rows_per_page_);
+  const uint32_t slot = static_cast<uint32_t>(rid % rows_per_page_);
+  PageGuard guard;
+  if (slot == 0) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(guard, pool_->Allocate(file_id_));
+    if (guard.id().page_no != page_no) {
+      return Status::Internal("AggFile: non-contiguous allocation");
+    }
+  } else {
+    CHUNKCACHE_ASSIGN_OR_RETURN(guard,
+                                pool_->Fetch(PageId{file_id_, page_no}));
+  }
+  SerializeRow(row, num_dims_,
+               guard.page()->data.data() + slot * record_size_);
+  guard.MarkDirty();
+  ++num_rows_;
+  return rid;
+}
+
+Status AggFile::Get(uint64_t rid, AggTuple* out) {
+  if (rid >= num_rows_) return Status::OutOfRange("AggFile::Get beyond EOF");
+  const uint32_t page_no = 1 + static_cast<uint32_t>(rid / rows_per_page_);
+  const uint32_t slot = static_cast<uint32_t>(rid % rows_per_page_);
+  CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                              pool_->Fetch(PageId{file_id_, page_no}));
+  DeserializeRow(guard.page()->data.data() + slot * record_size_, num_dims_,
+                 out);
+  return Status::OK();
+}
+
+Status AggFile::ScanRange(
+    uint64_t first, uint64_t count,
+    const std::function<bool(const AggTuple&)>& fn) {
+  if (first > num_rows_) {
+    return Status::OutOfRange("AggFile::ScanRange beyond EOF");
+  }
+  const uint64_t end = std::min(first + count, num_rows_);
+  AggTuple row;
+  uint64_t rid = first;
+  while (rid < end) {
+    const uint32_t page_no = 1 + static_cast<uint32_t>(rid / rows_per_page_);
+    CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                                pool_->Fetch(PageId{file_id_, page_no}));
+    const uint64_t page_first =
+        static_cast<uint64_t>(page_no - 1) * rows_per_page_;
+    const uint64_t page_end = std::min(page_first + rows_per_page_, end);
+    for (; rid < page_end; ++rid) {
+      const uint32_t slot = static_cast<uint32_t>(rid - page_first);
+      DeserializeRow(guard.page()->data.data() + slot * record_size_,
+                     num_dims_, &row);
+      if (!fn(row)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status AggFile::SyncHeader() {
+  CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                              pool_->Fetch(PageId{file_id_, 0}));
+  auto* h = guard.page()->As<Header>();
+  h->num_rows = num_rows_;
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+}  // namespace chunkcache::backend

@@ -1,0 +1,72 @@
+#ifndef CHUNKCACHE_BACKEND_AGG_FILE_H_
+#define CHUNKCACHE_BACKEND_AGG_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/tuple.h"
+
+namespace chunkcache::backend {
+
+/// Fixed-length record file for aggregate rows (AggTuple): per record,
+/// `num_dims` 32-bit coordinates, then SUM, COUNT, MIN, MAX (8 bytes
+/// each). Same slot-free page layout as FactFile; used to store
+/// precomputed aggregate tables in chunked form at the backend
+/// (Section 3.1: "even statically precomputed aggregate tables can be
+/// organized on a chunk basis").
+class AggFile {
+ public:
+  static Result<AggFile> Create(storage::BufferPool* pool, uint32_t num_dims);
+  static Result<AggFile> Open(storage::BufferPool* pool, uint32_t file_id);
+
+  AggFile(AggFile&&) = default;
+  AggFile& operator=(AggFile&&) = default;
+
+  Result<uint64_t> Append(const storage::AggTuple& row);
+  Status Get(uint64_t rid, storage::AggTuple* out);
+
+  /// Visits rows with rid in [first, first+count); `fn` returning false
+  /// stops early.
+  Status ScanRange(uint64_t first, uint64_t count,
+                   const std::function<bool(const storage::AggTuple&)>& fn);
+
+  Status Scan(const std::function<bool(const storage::AggTuple&)>& fn) {
+    return ScanRange(0, num_rows_, fn);
+  }
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t file_id() const { return file_id_; }
+  uint32_t num_dims() const { return num_dims_; }
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  Status SyncHeader();
+
+ private:
+  AggFile(storage::BufferPool* pool, uint32_t file_id, uint32_t num_dims)
+      : pool_(pool),
+        file_id_(file_id),
+        num_dims_(num_dims),
+        record_size_(num_dims * 4 + 32),
+        rows_per_page_(storage::kPageSize / record_size_) {}
+
+  struct Header {
+    uint64_t magic;
+    uint32_t num_dims;
+    uint32_t reserved;
+    uint64_t num_rows;
+  };
+  static constexpr uint64_t kMagic = 0x41474746494C4531ULL;  // "AGGFILE1"
+
+  storage::BufferPool* pool_;
+  uint32_t file_id_;
+  uint32_t num_dims_;
+  uint32_t record_size_;
+  uint32_t rows_per_page_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace chunkcache::backend
+
+#endif  // CHUNKCACHE_BACKEND_AGG_FILE_H_

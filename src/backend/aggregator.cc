@@ -1,0 +1,96 @@
+#include "backend/aggregator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chunkcache::backend {
+
+using chunks::ChunkCoords;
+using chunks::GroupBySpec;
+using storage::AggTuple;
+using storage::Tuple;
+
+HashAggregator::HashAggregator(const chunks::ChunkingScheme* scheme,
+                               GroupBySpec target)
+    : scheme_(scheme), target_(target) {
+  // Mixed-radix multipliers over target-level cardinalities.
+  uint64_t mult = 1;
+  for (uint32_t d = target_.num_dims; d-- > 0;) {
+    radix_mult_[d] = mult;
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    mult *= h.LevelCardinality(target_.levels[d]);
+  }
+  CHUNKCACHE_CHECK_MSG(mult > 0, "group-by key space overflows 64 bits");
+}
+
+uint64_t HashAggregator::PackKey(const ChunkCoords& coords) const {
+  uint64_t key = 0;
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    key += coords[d] * radix_mult_[d];
+  }
+  return key;
+}
+
+void HashAggregator::AddBase(const Tuple& t) {
+  ChunkCoords coords{};
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    coords[d] = h.AncestorAt(h.depth(), t.keys[d], target_.levels[d]);
+  }
+  AggTuple& cell = cells_[PackKey(coords)];
+  if (cell.count == 0) cell.coords = coords;
+  cell.FoldMeasure(t.measure);
+  ++rows_consumed_;
+}
+
+void HashAggregator::AddAgg(const AggTuple& row, const GroupBySpec& src) {
+  CHUNKCACHE_DCHECK(target_.CoarserOrEqual(src));
+  ChunkCoords coords{};
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    coords[d] =
+        h.AncestorAt(src.levels[d], row.coords[d], target_.levels[d]);
+  }
+  AggTuple& cell = cells_[PackKey(coords)];
+  if (cell.count == 0) cell.coords = coords;
+  cell.FoldRow(row);
+  ++rows_consumed_;
+}
+
+std::vector<AggTuple> HashAggregator::TakeRows() {
+  std::vector<AggTuple> rows;
+  rows.reserve(cells_.size());
+  for (auto& [key, cell] : cells_) rows.push_back(cell);
+  cells_.clear();
+  rows_consumed_ = 0;
+  return rows;
+}
+
+std::vector<AggTuple> FilterRows(
+    std::vector<AggTuple> rows, uint32_t num_dims,
+    const std::array<schema::OrdinalRange, storage::kMaxDims>& selection) {
+  auto out_of_range = [&](const AggTuple& r) {
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      if (!selection[d].Contains(r.coords[d])) return true;
+    }
+    return false;
+  };
+  rows.erase(std::remove_if(rows.begin(), rows.end(), out_of_range),
+             rows.end());
+  return rows;
+}
+
+void SortRows(std::vector<AggTuple>* rows, uint32_t num_dims) {
+  std::sort(rows->begin(), rows->end(),
+            [num_dims](const AggTuple& a, const AggTuple& b) {
+              for (uint32_t d = 0; d < num_dims; ++d) {
+                if (a.coords[d] != b.coords[d]) {
+                  return a.coords[d] < b.coords[d];
+                }
+              }
+              return false;
+            });
+}
+
+}  // namespace chunkcache::backend

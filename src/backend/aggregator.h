@@ -1,0 +1,63 @@
+#ifndef CHUNKCACHE_BACKEND_AGGREGATOR_H_
+#define CHUNKCACHE_BACKEND_AGGREGATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chunks/chunking_scheme.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace chunkcache::backend {
+
+/// Hash aggregation of fact or aggregate rows up to a target group-by
+/// level. Coordinates are packed into a mixed-radix 64-bit key over the
+/// target level cardinalities, so grouping is one hash probe per row.
+///
+/// Rows can come from the base table (AddBase) or from an already
+/// aggregated relation at a finer group-by (AddAgg) — the latter is what
+/// the closure property and the in-cache aggregation extension rely on.
+class HashAggregator {
+ public:
+  HashAggregator(const chunks::ChunkingScheme* scheme,
+                 chunks::GroupBySpec target);
+
+  /// Folds one base tuple into its target-level cell.
+  void AddBase(const storage::Tuple& t);
+
+  /// Folds one aggregate row at group-by `src` (must be finer or equal to
+  /// the target on every dimension).
+  void AddAgg(const storage::AggTuple& row, const chunks::GroupBySpec& src);
+
+  /// Number of rows folded so far (for work accounting).
+  uint64_t rows_consumed() const { return rows_consumed_; }
+
+  /// Extracts the aggregated cells (unordered). Resets the aggregator.
+  std::vector<storage::AggTuple> TakeRows();
+
+ private:
+  uint64_t PackKey(const chunks::ChunkCoords& coords) const;
+
+  const chunks::ChunkingScheme* scheme_;
+  chunks::GroupBySpec target_;
+  std::array<uint64_t, storage::kMaxDims> radix_mult_{};
+  std::unordered_map<uint64_t, storage::AggTuple> cells_;
+  uint64_t rows_consumed_ = 0;
+};
+
+/// Keeps only the rows whose coordinates fall inside `selection` on every
+/// dimension — the post-aggregation boundary filter of Section 5.2.3 ("it
+/// might be necessary to do some post-processing on these chunks, since
+/// chunks will have extra tuples").
+std::vector<storage::AggTuple> FilterRows(
+    std::vector<storage::AggTuple> rows, uint32_t num_dims,
+    const std::array<schema::OrdinalRange, storage::kMaxDims>& selection);
+
+/// Canonical ordering for result rows (row-major by coordinates), so tests
+/// and baselines can compare result sets deterministically.
+void SortRows(std::vector<storage::AggTuple>* rows, uint32_t num_dims);
+
+}  // namespace chunkcache::backend
+
+#endif  // CHUNKCACHE_BACKEND_AGGREGATOR_H_

@@ -1,0 +1,81 @@
+#include "backend/chunked_file.h"
+
+#include <algorithm>
+
+namespace chunkcache::backend {
+
+using storage::RowId;
+using storage::Tuple;
+
+Result<ChunkedFile> ChunkedFile::BulkLoad(storage::BufferPool* pool,
+                                          const chunks::ChunkingScheme* scheme,
+                                          std::vector<Tuple> tuples,
+                                          bool clustered) {
+  const chunks::GroupBySpec base = scheme->BaseSpec();
+  // Pair each tuple with its base chunk number; cluster if requested.
+  std::vector<std::pair<uint64_t, uint32_t>> order(tuples.size());
+  for (uint32_t i = 0; i < tuples.size(); ++i) {
+    chunks::ChunkCoords cell{};
+    for (uint32_t d = 0; d < scheme->num_dims(); ++d) {
+      cell[d] = tuples[i].keys[d];
+    }
+    order[i] = {scheme->ChunkOfCell(base, cell), i};
+  }
+  if (clustered) {
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
+
+  CHUNKCACHE_ASSIGN_OR_RETURN(
+      storage::FactFile fact,
+      storage::FactFile::Create(pool, scheme->schema().tuple_desc()));
+  // Append in (possibly clustered) order, recording chunk runs.
+  std::vector<std::pair<uint64_t, index::BTreePayload>> runs;
+  for (const auto& [chunk, idx] : order) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(RowId rid, fact.Append(tuples[idx]));
+    if (clustered) {
+      if (runs.empty() || runs.back().first != chunk) {
+        runs.push_back({chunk, index::BTreePayload{rid, 1}});
+      } else {
+        runs.back().second.v2++;
+      }
+    }
+  }
+  CHUNKCACHE_RETURN_IF_ERROR(fact.SyncHeader());
+
+  ChunkedFile file(std::move(fact), scheme, clustered);
+  if (clustered) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(index::BTree tree, index::BTree::Create(pool));
+    CHUNKCACHE_RETURN_IF_ERROR(tree.BulkLoad(runs));
+    file.chunk_index_.emplace(std::move(tree));
+  }
+  return file;
+}
+
+Result<std::pair<RowId, uint64_t>> ChunkedFile::ChunkRun(uint64_t chunk_num) {
+  if (!clustered_) {
+    return Status::Unsupported("ChunkRun on an unclustered file");
+  }
+  auto payload = chunk_index_->Get(chunk_num);
+  if (!payload.ok()) return payload.status();
+  return std::make_pair(payload->v1, payload->v2);
+}
+
+Status ChunkedFile::ScanChunk(
+    uint64_t chunk_num, const std::function<bool(const Tuple&)>& fn) {
+  if (!clustered_) {
+    return Status::Unsupported("ScanChunk on an unclustered file");
+  }
+  auto run = ChunkRun(chunk_num);
+  if (!run.ok()) {
+    // An empty chunk simply has no run; treat as zero tuples.
+    if (run.status().code() == StatusCode::kNotFound) return Status::OK();
+    return run.status();
+  }
+  return fact_.ScanRange(run->first, run->second,
+                         [&fn](RowId, const Tuple& t) { return fn(t); });
+}
+
+}  // namespace chunkcache::backend

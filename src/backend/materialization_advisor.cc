@@ -1,0 +1,76 @@
+#include "backend/materialization_advisor.h"
+
+#include <cmath>
+
+namespace chunkcache::backend {
+
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+
+uint64_t EstimateGroupByRows(const ChunkingScheme& scheme,
+                             const GroupBySpec& spec, uint64_t num_tuples) {
+  double cells = 1;
+  for (uint32_t d = 0; d < scheme.num_dims(); ++d) {
+    cells *= scheme.schema().dimension(d).hierarchy.LevelCardinality(
+        spec.levels[d]);
+  }
+  // E[distinct] = C - C (1 - 1/C)^N; use the exp/log1p form to stay
+  // accurate when C is large relative to N.
+  const double n = static_cast<double>(num_tuples);
+  const double expected =
+      cells - cells * std::exp(n * std::log1p(-1.0 / cells));
+  return static_cast<uint64_t>(std::llround(expected));
+}
+
+std::vector<AdvisedView> SelectViewsToMaterialize(
+    const ChunkingScheme& scheme, uint64_t num_tuples,
+    const AdvisorOptions& options) {
+  const uint32_t n = scheme.NumGroupByIds();
+  const GroupBySpec base = scheme.BaseSpec();
+  const uint32_t base_id = scheme.GroupById(base);
+
+  std::vector<GroupBySpec> specs(n);
+  std::vector<uint64_t> rows(n);
+  for (uint32_t id = 0; id < n; ++id) {
+    specs[id] = scheme.SpecOfId(id);
+    rows[id] = EstimateGroupByRows(scheme, specs[id], num_tuples);
+  }
+  // cheapest[w] = rows of the cheapest chosen source answering w.
+  std::vector<uint64_t> cheapest(n, rows[base_id]);
+
+  const uint64_t max_rows = static_cast<uint64_t>(
+      options.max_rows_fraction * static_cast<double>(rows[base_id]));
+
+  std::vector<AdvisedView> picks;
+  std::vector<bool> chosen(n, false);
+  chosen[base_id] = true;  // the base is always available, never a pick
+  for (uint32_t round = 0; round < options.budget_views; ++round) {
+    double best_benefit = 0;
+    uint32_t best = n;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (chosen[v] || rows[v] > max_rows) continue;
+      double benefit = 0;
+      for (uint32_t w = 0; w < n; ++w) {
+        if (!specs[w].CoarserOrEqual(specs[v])) continue;
+        if (cheapest[w] > rows[v]) {
+          benefit += static_cast<double>(cheapest[w] - rows[v]);
+        }
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best = v;
+      }
+    }
+    if (best == n || best_benefit <= 0) break;
+    chosen[best] = true;
+    for (uint32_t w = 0; w < n; ++w) {
+      if (specs[w].CoarserOrEqual(specs[best]) && cheapest[w] > rows[best]) {
+        cheapest[w] = rows[best];
+      }
+    }
+    picks.push_back(AdvisedView{specs[best], rows[best], best_benefit});
+  }
+  return picks;
+}
+
+}  // namespace chunkcache::backend

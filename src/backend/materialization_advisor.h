@@ -1,0 +1,55 @@
+#ifndef CHUNKCACHE_BACKEND_MATERIALIZATION_ADVISOR_H_
+#define CHUNKCACHE_BACKEND_MATERIALIZATION_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chunks/chunking_scheme.h"
+#include "common/status.h"
+
+namespace chunkcache::backend {
+
+/// Options for the greedy view-selection advisor.
+struct AdvisorOptions {
+  /// How many aggregate tables to pick (the paper's static-caching side:
+  /// "a set of group-bys is chosen and the corresponding tables are
+  /// materialized").
+  uint32_t budget_views = 5;
+
+  /// Views whose estimated row count exceeds this fraction of the base
+  /// table are never picked (they would barely aggregate).
+  double max_rows_fraction = 0.5;
+};
+
+/// One pick with its marginal benefit at selection time.
+struct AdvisedView {
+  chunks::GroupBySpec spec;
+  uint64_t estimated_rows = 0;
+  double benefit = 0;
+};
+
+/// Expected number of distinct cells (rows) of group-by `spec` when
+/// `num_tuples` base tuples are thrown uniformly at its cell grid — the
+/// balls-in-bins expectation C - C(1-1/C)^N (the same f(r,k) the paper
+/// uses in Section 4.2).
+uint64_t EstimateGroupByRows(const chunks::ChunkingScheme& scheme,
+                             const chunks::GroupBySpec& spec,
+                             uint64_t num_tuples);
+
+/// Greedy selection of aggregate tables to precompute at the backend,
+/// after Harinarayan/Rajaraman/Ullman [HRU96] — the algorithm the paper
+/// cites for the static side of its taxonomy (Section 2.3) and whose
+/// benefit notion its replacement policy borrows (Section 5.4). The
+/// benefit of materializing view v given the already-chosen set S is the
+/// total reduction, over every group-by w answerable from v, of the
+/// cheapest source cost |u| (u in S + base, w computable from u).
+///
+/// Returns picks in selection order (monotonically non-increasing
+/// benefit). The base group-by is never picked (it is always available).
+std::vector<AdvisedView> SelectViewsToMaterialize(
+    const chunks::ChunkingScheme& scheme, uint64_t num_tuples,
+    const AdvisorOptions& options);
+
+}  // namespace chunkcache::backend
+
+#endif  // CHUNKCACHE_BACKEND_MATERIALIZATION_ADVISOR_H_

@@ -1,0 +1,99 @@
+#include "backend/multi_range_query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chunkcache::backend {
+
+using schema::OrdinalRange;
+
+StarJoinQuery MultiRangeQuery::AsSingleBox() const {
+  CHUNKCACHE_DCHECK(IsSingleBox());
+  StarJoinQuery q;
+  q.group_by = group_by;
+  q.non_group_by = non_group_by;
+  for (uint32_t d = 0; d < group_by.num_dims; ++d) {
+    q.selection[d] = runs[d].empty() ? OrdinalRange{0, 0} : runs[d][0];
+  }
+  return q;
+}
+
+std::vector<OrdinalRange> NormalizeRuns(std::vector<OrdinalRange> runs) {
+  if (runs.empty()) return runs;
+  std::sort(runs.begin(), runs.end(),
+            [](const OrdinalRange& a, const OrdinalRange& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  std::vector<OrdinalRange> out;
+  out.push_back(runs[0]);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    OrdinalRange& last = out.back();
+    if (runs[i].begin <= last.end + 1 && runs[i].begin >= last.begin) {
+      last.end = std::max(last.end, runs[i].end);
+    } else {
+      out.push_back(runs[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<OrdinalRange> IntersectRuns(const std::vector<OrdinalRange>& a,
+                                        const std::vector<OrdinalRange>& b) {
+  std::vector<OrdinalRange> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint32_t lo = std::max(a[i].begin, b[j].begin);
+    const uint32_t hi = std::min(a[i].end, b[j].end);
+    if (lo <= hi) out.push_back(OrdinalRange{lo, hi});
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<StarJoinQuery>> DecomposeToBoxQueries(
+    const MultiRangeQuery& query, uint64_t max_boxes) {
+  for (uint32_t d = 0; d < query.group_by.num_dims; ++d) {
+    if (query.runs[d].empty()) {
+      return Status::InvalidArgument(
+          "DecomposeToBoxQueries: empty run list on dimension " +
+          std::to_string(d));
+    }
+    for (size_t i = 1; i < query.runs[d].size(); ++i) {
+      if (query.runs[d][i].begin <= query.runs[d][i - 1].end) {
+        return Status::InvalidArgument(
+            "DecomposeToBoxQueries: runs not disjoint/sorted");
+      }
+    }
+  }
+  const uint64_t n = query.NumBoxes();
+  if (n > max_boxes) {
+    return Status::ResourceExhausted(
+        "DecomposeToBoxQueries: " + std::to_string(n) +
+        " boxes exceed the cap of " + std::to_string(max_boxes));
+  }
+  std::vector<StarJoinQuery> out;
+  out.reserve(n);
+  std::array<size_t, storage::kMaxDims> idx{};
+  while (true) {
+    StarJoinQuery q;
+    q.group_by = query.group_by;
+    q.non_group_by = query.non_group_by;
+    for (uint32_t d = 0; d < query.group_by.num_dims; ++d) {
+      q.selection[d] = query.runs[d][idx[d]];
+    }
+    out.push_back(std::move(q));
+    uint32_t d = query.group_by.num_dims;
+    while (d-- > 0) {
+      if (++idx[d] < query.runs[d].size()) break;
+      idx[d] = 0;
+      if (d == 0) return out;
+    }
+  }
+}
+
+}  // namespace chunkcache::backend

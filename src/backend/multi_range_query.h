@@ -1,0 +1,62 @@
+#ifndef CHUNKCACHE_BACKEND_MULTI_RANGE_QUERY_H_
+#define CHUNKCACHE_BACKEND_MULTI_RANGE_QUERY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "backend/star_join_query.h"
+#include "common/status.h"
+
+namespace chunkcache::backend {
+
+/// A star-join query whose selection on each group-by dimension is a
+/// *union of disjoint ranges* (IN-lists, NOT BETWEEN holes, ...). The
+/// paper restricts selections to single ranges (Section 5.2.2 "we will
+/// assume that the selection predicates are range or point predicates");
+/// this extension decomposes a multi-range query into the cartesian
+/// product of per-dimension runs — each product cell is an ordinary
+/// box-shaped StarJoinQuery the caching machinery already handles, and
+/// the result cells of distinct boxes are disjoint, so results simply
+/// concatenate.
+struct MultiRangeQuery {
+  chunks::GroupBySpec group_by;
+  /// Disjoint, ascending runs per dimension ({{0,0}} for level-0 dims).
+  std::array<std::vector<schema::OrdinalRange>, storage::kMaxDims> runs;
+  std::vector<NonGroupByPredicate> non_group_by;
+
+  /// Number of box queries the decomposition would produce.
+  uint64_t NumBoxes() const {
+    uint64_t n = 1;
+    for (uint32_t d = 0; d < group_by.num_dims; ++d) {
+      n *= runs[d].empty() ? 1 : runs[d].size();
+    }
+    return n;
+  }
+
+  /// True when every dimension has exactly one run (a plain box query).
+  bool IsSingleBox() const { return NumBoxes() == 1; }
+
+  /// The equivalent StarJoinQuery; only valid when IsSingleBox().
+  StarJoinQuery AsSingleBox() const;
+};
+
+/// Normalizes arbitrary ordinal runs: sorts, merges overlapping and
+/// adjacent ranges.
+std::vector<schema::OrdinalRange> NormalizeRuns(
+    std::vector<schema::OrdinalRange> runs);
+
+/// Intersects two normalized run lists.
+std::vector<schema::OrdinalRange> IntersectRuns(
+    const std::vector<schema::OrdinalRange>& a,
+    const std::vector<schema::OrdinalRange>& b);
+
+/// Decomposes into the cartesian product of per-dimension runs. Fails
+/// with ResourceExhausted when the product exceeds `max_boxes` (a
+/// degenerate IN-list would otherwise explode).
+Result<std::vector<StarJoinQuery>> DecomposeToBoxQueries(
+    const MultiRangeQuery& query, uint64_t max_boxes = 4096);
+
+}  // namespace chunkcache::backend
+
+#endif  // CHUNKCACHE_BACKEND_MULTI_RANGE_QUERY_H_

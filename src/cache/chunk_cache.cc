@@ -1,0 +1,89 @@
+#include "cache/chunk_cache.h"
+
+#include "common/logging.h"
+
+namespace chunkcache::cache {
+
+ChunkCache::ChunkCache(uint64_t capacity_bytes,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
+  CHUNKCACHE_CHECK(policy_ != nullptr);
+}
+
+const CachedChunk* ChunkCache::Lookup(uint32_t group_by_id,
+                                      uint64_t chunk_num,
+                                      uint64_t filter_hash) {
+  ++stats_.lookups;
+  auto it = by_key_.find(Key{group_by_id, chunk_num, filter_hash});
+  if (it == by_key_.end()) return nullptr;
+  ++stats_.hits;
+  policy_->OnAccess(it->second);
+  return &by_handle_.at(it->second);
+}
+
+bool ChunkCache::Contains(uint32_t group_by_id, uint64_t chunk_num,
+                          uint64_t filter_hash) const {
+  return by_key_.find(Key{group_by_id, chunk_num, filter_hash}) !=
+         by_key_.end();
+}
+
+uint64_t ChunkCache::CountForGroupBy(uint32_t group_by_id) const {
+  auto it = per_group_by_.find(group_by_id);
+  return it == per_group_by_.end() ? 0 : it->second;
+}
+
+void ChunkCache::Erase(uint64_t handle) {
+  auto it = by_handle_.find(handle);
+  CHUNKCACHE_DCHECK(it != by_handle_.end());
+  const CachedChunk& chunk = it->second;
+  bytes_used_ -= chunk.ByteSize();
+  auto pg = per_group_by_.find(chunk.group_by_id);
+  if (pg != per_group_by_.end() && --pg->second == 0) {
+    per_group_by_.erase(pg);
+  }
+  by_key_.erase(Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash});
+  policy_->OnErase(handle);
+  by_handle_.erase(it);
+}
+
+void ChunkCache::Insert(CachedChunk chunk) {
+  const uint64_t bytes = chunk.ByteSize();
+  if (bytes > capacity_bytes_) {
+    ++stats_.rejected;
+    return;
+  }
+  // Replace an existing entry for the same key.
+  auto existing = by_key_.find(
+      Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash});
+  if (existing != by_key_.end()) Erase(existing->second);
+
+  // Evict until the newcomer fits.
+  while (bytes_used_ + bytes > capacity_bytes_) {
+    auto victim = policy_->PickVictim(chunk.benefit);
+    if (!victim) break;  // empty cache; nothing to evict
+    Erase(*victim);
+    ++stats_.evictions;
+  }
+  if (bytes_used_ + bytes > capacity_bytes_) {
+    ++stats_.rejected;
+    return;
+  }
+  const uint64_t handle = next_handle_++;
+  policy_->OnInsert(handle, chunk.benefit);
+  per_group_by_[chunk.group_by_id]++;
+  by_key_[Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash}] =
+      handle;
+  bytes_used_ += bytes;
+  by_handle_.emplace(handle, std::move(chunk));
+  ++stats_.insertions;
+}
+
+void ChunkCache::Clear() {
+  for (const auto& [handle, chunk] : by_handle_) policy_->OnErase(handle);
+  by_handle_.clear();
+  by_key_.clear();
+  per_group_by_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace chunkcache::cache

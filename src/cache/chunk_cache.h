@@ -1,0 +1,116 @@
+#ifndef CHUNKCACHE_CACHE_CHUNK_CACHE_H_
+#define CHUNKCACHE_CACHE_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "chunks/group_by_spec.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace chunkcache::cache {
+
+/// One cached chunk: the aggregate rows of chunk `chunk_num` of group-by
+/// `group_by_id`, computed under the non-group-by filter identified by
+/// `filter_hash` (0 = unfiltered). Different filters produce different data
+/// for the same chunk coordinates, so the filter is part of the identity
+/// (Section 5.2.1 condition 3: non-group-by selections must match exactly).
+struct CachedChunk {
+  uint32_t group_by_id = 0;
+  uint64_t chunk_num = 0;
+  uint64_t filter_hash = 0;
+  double benefit = 0;
+  std::vector<storage::AggTuple> rows;
+
+  uint64_t ByteSize() const {
+    return sizeof(CachedChunk) + rows.size() * sizeof(storage::AggTuple);
+  }
+};
+
+struct ChunkCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  ///< Entries larger than the whole cache.
+};
+
+/// The middle-tier chunk cache: a byte-budgeted map from
+/// (group-by, chunk number, filter) to aggregate rows, with a pluggable
+/// replacement policy. This is the paper's core data structure.
+class ChunkCache {
+ public:
+  ChunkCache(uint64_t capacity_bytes,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Returns the cached chunk, or nullptr on a miss. A hit refreshes the
+  /// entry's replacement state. The pointer stays valid until the next
+  /// Insert/Clear.
+  const CachedChunk* Lookup(uint32_t group_by_id, uint64_t chunk_num,
+                            uint64_t filter_hash);
+
+  /// Probes without touching replacement state or hit statistics (used by
+  /// planners to inspect cache contents).
+  bool Contains(uint32_t group_by_id, uint64_t chunk_num,
+                uint64_t filter_hash) const;
+
+  /// Inserts `chunk`, evicting per policy until it fits. A chunk larger
+  /// than the entire cache is rejected (counted in stats). Re-inserting an
+  /// existing key replaces the old rows.
+  void Insert(CachedChunk chunk);
+
+  /// Drops everything.
+  void Clear();
+
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_chunks() const { return by_key_.size(); }
+  const ChunkCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChunkCacheStats(); }
+  const ReplacementPolicy& policy() const { return *policy_; }
+
+  /// Number of cached chunks belonging to `group_by_id` (any filter) —
+  /// lets the in-cache aggregation extension find promising source
+  /// group-bys cheaply.
+  uint64_t CountForGroupBy(uint32_t group_by_id) const;
+
+ private:
+  struct Key {
+    uint32_t group_by_id;
+    uint64_t chunk_num;
+    uint64_t filter_hash;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.group_by_id == b.group_by_id && a.chunk_num == b.chunk_num &&
+             a.filter_hash == b.filter_hash;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = k.chunk_num * 0x9E3779B97F4A7C15ULL;
+      x ^= (static_cast<uint64_t>(k.group_by_id) << 32) ^ k.filter_hash;
+      x *= 0xC2B2AE3D27D4EB4FULL;
+      return static_cast<size_t>(x ^ (x >> 29));
+    }
+  };
+
+  void Erase(uint64_t handle);
+
+  uint64_t capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  uint64_t next_handle_ = 1;
+  std::unordered_map<Key, uint64_t, KeyHash> by_key_;        // key -> handle
+  std::unordered_map<uint64_t, CachedChunk> by_handle_;      // handle -> data
+  std::unordered_map<uint32_t, uint64_t> per_group_by_;      // gb -> count
+  uint64_t bytes_used_ = 0;
+  ChunkCacheStats stats_;
+};
+
+}  // namespace chunkcache::cache
+
+#endif  // CHUNKCACHE_CACHE_CHUNK_CACHE_H_

@@ -1,0 +1,155 @@
+#include "cache/replacement.h"
+
+#include "common/logging.h"
+
+namespace chunkcache::cache {
+
+// ----------------------------------- LRU ------------------------------------
+
+void LruPolicy::OnInsert(uint64_t handle, double /*benefit*/) {
+  CHUNKCACHE_DCHECK(map_.find(handle) == map_.end());
+  order_.push_front(handle);
+  map_[handle] = order_.begin();
+}
+
+void LruPolicy::OnAccess(uint64_t handle) {
+  auto it = map_.find(handle);
+  if (it == map_.end()) return;
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::OnErase(uint64_t handle) {
+  auto it = map_.find(handle);
+  if (it == map_.end()) return;
+  order_.erase(it->second);
+  map_.erase(it);
+}
+
+std::optional<uint64_t> LruPolicy::PickVictim(double /*incoming_benefit*/) {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+// --------------------------------- ClockBase --------------------------------
+
+void ClockBase::OnInsert(uint64_t handle, double benefit) {
+  CHUNKCACHE_DCHECK(map_.find(handle) == map_.end());
+  Slot slot;
+  slot.handle = handle;
+  slot.weight = benefit;
+  slot.alive = true;
+  map_[handle] = ring_.size();
+  ring_.push_back(slot);
+  if (dead_ > map_.size()) Compact();
+}
+
+void ClockBase::OnErase(uint64_t handle) {
+  auto it = map_.find(handle);
+  if (it == map_.end()) return;
+  ring_[it->second].alive = false;
+  ++dead_;
+  map_.erase(it);
+  if (dead_ > map_.size() + 16) Compact();
+}
+
+void ClockBase::Compact() {
+  std::vector<Slot> fresh;
+  fresh.reserve(map_.size());
+  // Keep ring order starting at the arm so sweep fairness is preserved.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Slot& s = ring_[(arm_ + i) % ring_.size()];
+    if (s.alive) fresh.push_back(s);
+  }
+  ring_ = std::move(fresh);
+  for (size_t i = 0; i < ring_.size(); ++i) map_[ring_[i].handle] = i;
+  arm_ = 0;
+  dead_ = 0;
+}
+
+std::optional<size_t> ClockBase::Advance() {
+  if (map_.empty()) return std::nullopt;
+  while (true) {
+    if (arm_ >= ring_.size()) arm_ = 0;
+    if (ring_[arm_].alive) {
+      const size_t idx = arm_;
+      arm_ = (arm_ + 1) % (ring_.empty() ? 1 : ring_.size());
+      return idx;
+    }
+    ++arm_;
+  }
+}
+
+// ----------------------------------- CLOCK ----------------------------------
+
+void ClockPolicy::OnInsert(uint64_t handle, double /*benefit*/) {
+  ClockBase::OnInsert(handle, /*benefit=*/1.0);  // reference bit set
+}
+
+void ClockPolicy::OnAccess(uint64_t handle) {
+  auto it = map_.find(handle);
+  if (it == map_.end()) return;
+  ring_[it->second].weight = 1.0;
+}
+
+std::optional<uint64_t> ClockPolicy::PickVictim(double /*incoming*/) {
+  // Classic second chance: clear reference bits until an unreferenced
+  // entry comes under the arm.
+  for (size_t steps = 0; steps < 2 * ring_.size() + 1; ++steps) {
+    auto idx = Advance();
+    if (!idx) return std::nullopt;
+    Slot& s = ring_[*idx];
+    if (s.weight > 0) {
+      s.weight = 0;
+    } else {
+      return s.handle;
+    }
+  }
+  return std::nullopt;  // unreachable with live entries
+}
+
+// ------------------------------- Benefit CLOCK -------------------------------
+
+void BenefitClockPolicy::OnAccess(uint64_t handle) {
+  auto it = map_.find(handle);
+  if (it == map_.end()) return;
+  // "The weight is reset to its initial benefit value whenever the chunk is
+  // reaccessed."
+  ring_[it->second].weight = benefit_[handle];
+}
+
+std::optional<uint64_t> BenefitClockPolicy::PickVictim(
+    double incoming_benefit) {
+  if (map_.empty()) return std::nullopt;
+  if (incoming_benefit <= 0) incoming_benefit = 1.0;
+  // Sweep, decrementing weights by the incoming chunk's benefit; an entry
+  // whose weight was already exhausted is the victim. The sweep is bounded:
+  // if no weight drains within a few cycles (a stream of tiny chunks
+  // hitting a cache of expensive ones), evict the minimum-weight entry seen
+  // rather than spinning.
+  const size_t max_steps = 4 * ring_.size() + 4;
+  std::optional<uint64_t> min_handle;
+  double min_weight = 0;
+  for (size_t steps = 0; steps < max_steps; ++steps) {
+    auto idx = Advance();
+    if (!idx) return std::nullopt;
+    Slot& s = ring_[*idx];
+    if (s.weight <= 0) return s.handle;
+    if (!min_handle || s.weight < min_weight) {
+      min_handle = s.handle;
+      min_weight = s.weight;
+    }
+    s.weight -= incoming_benefit;
+  }
+  return min_handle;
+}
+
+// ---------------------------------- Factory ---------------------------------
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "clock") return std::make_unique<ClockPolicy>();
+  if (name == "benefit-clock") return std::make_unique<BenefitClockPolicy>();
+  return nullptr;
+}
+
+}  // namespace chunkcache::cache

@@ -1,0 +1,124 @@
+#ifndef CHUNKCACHE_CACHE_REPLACEMENT_H_
+#define CHUNKCACHE_CACHE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chunkcache::cache {
+
+/// Victim-selection policy for a cache of variable-benefit entries. The
+/// cache identifies entries by opaque handles; the policy tracks access
+/// recency and/or benefit weights and nominates eviction victims.
+///
+/// Implementations provided (Section 5.4 of the paper):
+///  - LruPolicy:          exact LRU (list-based).
+///  - ClockPolicy:        CLOCK, the LRU approximation the paper uses.
+///  - BenefitClockPolicy: CLOCK combined with chunk benefit — an entry's
+///    weight starts at its benefit, the sweeping arm reduces it by the
+///    *incoming* entry's benefit, and an entry whose weight has reached
+///    zero is replaceable; re-access resets the weight.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Registers a new entry with the given benefit.
+  virtual void OnInsert(uint64_t handle, double benefit) = 0;
+
+  /// Notes a cache hit on `handle`.
+  virtual void OnAccess(uint64_t handle) = 0;
+
+  /// Removes `handle` from the policy's books (entry evicted or dropped).
+  virtual void OnErase(uint64_t handle) = 0;
+
+  /// Nominates an eviction victim to make room for an incoming entry of
+  /// benefit `incoming_benefit`. Returns nullopt only when empty.
+  virtual std::optional<uint64_t> PickVictim(double incoming_benefit) = 0;
+
+  virtual std::string name() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// Exact LRU via an intrusive list.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t handle, double benefit) override;
+  void OnAccess(uint64_t handle) override;
+  void OnErase(uint64_t handle) override;
+  std::optional<uint64_t> PickVictim(double incoming_benefit) override;
+  std::string name() const override { return "lru"; }
+  size_t size() const override { return map_.size(); }
+
+ private:
+  std::list<uint64_t> order_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+/// Shared machinery for the two CLOCK variants: a ring of slots with a
+/// sweeping arm; erased entries leave tombstones that are compacted when
+/// they outnumber live entries.
+class ClockBase : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t handle, double benefit) override;
+  void OnErase(uint64_t handle) override;
+  size_t size() const override { return map_.size(); }
+
+ protected:
+  struct Slot {
+    uint64_t handle = 0;
+    double weight = 0;  // reference bit (0/1) for plain CLOCK
+    bool alive = false;
+  };
+
+  void Compact();
+  /// Advances the arm to the next live slot; returns its index or nullopt
+  /// when the ring has no live slots.
+  std::optional<size_t> Advance();
+
+  std::vector<Slot> ring_;
+  std::unordered_map<uint64_t, size_t> map_;  // handle -> ring index
+  size_t arm_ = 0;
+  size_t dead_ = 0;
+};
+
+/// Plain CLOCK (second chance): weight is a 0/1 reference bit.
+class ClockPolicy final : public ClockBase {
+ public:
+  void OnInsert(uint64_t handle, double benefit) override;
+  void OnAccess(uint64_t handle) override;
+  std::optional<uint64_t> PickVictim(double incoming_benefit) override;
+  std::string name() const override { return "clock"; }
+};
+
+/// The paper's benefit-weighted CLOCK (Section 5.4).
+class BenefitClockPolicy final : public ClockBase {
+ public:
+  void OnAccess(uint64_t handle) override;
+  std::optional<uint64_t> PickVictim(double incoming_benefit) override;
+  std::string name() const override { return "benefit-clock"; }
+
+ private:
+  // Remembers each entry's initial benefit so re-access can reset weight.
+  std::unordered_map<uint64_t, double> benefit_;
+
+ public:
+  void OnInsert(uint64_t handle, double benefit) override {
+    ClockBase::OnInsert(handle, benefit);
+    benefit_[handle] = benefit;
+  }
+  void OnErase(uint64_t handle) override {
+    ClockBase::OnErase(handle);
+    benefit_.erase(handle);
+  }
+};
+
+/// Factory by name ("lru", "clock", "benefit-clock") for experiment knobs.
+std::unique_ptr<ReplacementPolicy> MakePolicy(const std::string& name);
+
+}  // namespace chunkcache::cache
+
+#endif  // CHUNKCACHE_CACHE_REPLACEMENT_H_

@@ -1,0 +1,85 @@
+#ifndef CHUNKCACHE_CHUNKS_GROUP_BY_SPEC_H_
+#define CHUNKCACHE_CHUNKS_GROUP_BY_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "storage/tuple.h"
+
+namespace chunkcache::chunks {
+
+/// Identifies one level of aggregation of the cube: for each dimension, the
+/// hierarchy level it is grouped at. Level 0 means the dimension is
+/// aggregated away (grouped at ALL); level hierarchy.depth() means grouped
+/// at the base level. The base group-by has every dimension at its base
+/// level.
+struct GroupBySpec {
+  std::array<uint8_t, storage::kMaxDims> levels{};
+  uint32_t num_dims = 0;
+
+  uint8_t level(uint32_t dim) const { return levels[dim]; }
+
+  friend bool operator==(const GroupBySpec& a, const GroupBySpec& b) {
+    if (a.num_dims != b.num_dims) return false;
+    for (uint32_t i = 0; i < a.num_dims; ++i) {
+      if (a.levels[i] != b.levels[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if every dimension of `this` is at the same or a more aggregated
+  /// level than in `other` (i.e. `this` is computable from `other`).
+  bool CoarserOrEqual(const GroupBySpec& other) const {
+    if (num_dims != other.num_dims) return false;
+    for (uint32_t i = 0; i < num_dims; ++i) {
+      if (levels[i] > other.levels[i]) return false;
+    }
+    return true;
+  }
+
+  /// Debug rendering, e.g. "(2,0,3,1)".
+  std::string ToString() const {
+    std::string s = "(";
+    for (uint32_t i = 0; i < num_dims; ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(static_cast<int>(levels[i]));
+    }
+    s += ")";
+    return s;
+  }
+};
+
+struct GroupBySpecHash {
+  size_t operator()(const GroupBySpec& s) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < s.num_dims; ++i) {
+      h = (h ^ s.levels[i]) * 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Globally unique identity of a cached chunk: the group-by it belongs to
+/// (as a dense interned id, see ChunkingScheme::GroupById) plus its chunk
+/// number within that group-by's grid.
+struct ChunkKey {
+  uint32_t group_by_id = 0;
+  uint64_t chunk_num = 0;
+
+  friend bool operator==(const ChunkKey& a, const ChunkKey& b) {
+    return a.group_by_id == b.group_by_id && a.chunk_num == b.chunk_num;
+  }
+};
+
+struct ChunkKeyHash {
+  size_t operator()(const ChunkKey& k) const {
+    uint64_t x = (static_cast<uint64_t>(k.group_by_id) << 40) ^ k.chunk_num;
+    x *= 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(x ^ (x >> 32));
+  }
+};
+
+}  // namespace chunkcache::chunks
+
+#endif  // CHUNKCACHE_CHUNKS_GROUP_BY_SPEC_H_

@@ -1,0 +1,37 @@
+#ifndef CHUNKCACHE_COMMON_LOGGING_H_
+#define CHUNKCACHE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Minimal invariant-checking macros. CHUNKCACHE_CHECK is always on;
+/// CHUNKCACHE_DCHECK compiles away in NDEBUG builds. Failures abort: a
+/// violated invariant inside the storage engine is never recoverable.
+
+#define CHUNKCACHE_CHECK(cond)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CHUNKCACHE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define CHUNKCACHE_DCHECK(cond) \
+  do {                          \
+  } while (0)
+#else
+#define CHUNKCACHE_DCHECK(cond) CHUNKCACHE_CHECK(cond)
+#endif
+
+#endif  // CHUNKCACHE_COMMON_LOGGING_H_

@@ -1,0 +1,144 @@
+#ifndef CHUNKCACHE_COMMON_STATUS_H_
+#define CHUNKCACHE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace chunkcache {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kCorruption,
+  kIoError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier, modeled after absl::Status. Functions in
+/// this library report failure through Status / Result<T> rather than
+/// exceptions, so control flow stays explicit at call sites.
+///
+/// The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "NotFound: chunk 17 absent" (or "Ok").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status (absl::StatusOr<T> shape).
+/// Access to the value of a failed result aborts in debug builds via CHECK
+/// inside value(); callers must test ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value so `return value;` works in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is engaged.
+};
+
+/// Propagates a non-OK Status out of the calling function.
+#define CHUNKCACHE_RETURN_IF_ERROR(expr)          \
+  do {                                            \
+    ::chunkcache::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// propagating the error. `lhs` must be a declaration, e.g.
+///   CHUNKCACHE_ASSIGN_OR_RETURN(auto page, pool.Fetch(id));
+#define CHUNKCACHE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+#define CHUNKCACHE_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define CHUNKCACHE_ASSIGN_OR_RETURN_NAME(a, b) CHUNKCACHE_ASSIGN_OR_RETURN_CAT(a, b)
+#define CHUNKCACHE_ASSIGN_OR_RETURN(lhs, expr) \
+  CHUNKCACHE_ASSIGN_OR_RETURN_IMPL(            \
+      CHUNKCACHE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace chunkcache
+
+#endif  // CHUNKCACHE_COMMON_STATUS_H_

@@ -1,0 +1,225 @@
+#include "core/chunk_cache_manager.h"
+
+#include <algorithm>
+
+#include "backend/aggregator.h"
+#include "common/logging.h"
+
+namespace chunkcache::core {
+
+using backend::ChunkData;
+using backend::NonGroupByPredicate;
+using backend::ResultRow;
+using backend::StarJoinQuery;
+using chunks::ChunkBox;
+using chunks::ChunkCoords;
+using chunks::GroupBySpec;
+using storage::AggTuple;
+
+ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
+                                     ChunkManagerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      cache_(options_.cache_bytes, cache::MakePolicy(options_.policy)) {}
+
+uint64_t ChunkCacheManager::FilterHash(
+    const std::vector<NonGroupByPredicate>& preds) {
+  if (preds.empty()) return 0;
+  // Order-insensitive: combine per-predicate hashes commutatively.
+  uint64_t acc = 0;
+  for (const auto& p : preds) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t v : {static_cast<uint64_t>(p.dim),
+                       static_cast<uint64_t>(p.level),
+                       static_cast<uint64_t>(p.range.begin),
+                       static_cast<uint64_t>(p.range.end)}) {
+      h = (h ^ v) * 0x100000001b3ULL;
+    }
+    acc += h;  // commutative combine
+  }
+  return acc == 0 ? 1 : acc;  // reserve 0 for "no predicates"
+}
+
+Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
+    const StarJoinQuery& query, QueryStats* stats) {
+  CHUNKCACHE_CHECK(stats != nullptr);
+  *stats = QueryStats();
+  const chunks::ChunkingScheme& scheme = engine_->scheme();
+  const uint32_t gb_id = scheme.GroupById(query.group_by);
+  const uint64_t filter_hash = FilterHash(query.non_group_by);
+  const double benefit = scheme.ChunkBenefit(query.group_by);
+
+  // 1. Query analysis: chunk numbers needed (Section 5.2.2).
+  const ChunkBox box = scheme.BoxForSelection(query.group_by, query.selection);
+  const chunks::ChunkGrid& grid = scheme.GridFor(query.group_by);
+  std::vector<uint64_t> needed;
+  needed.reserve(box.NumChunks());
+  box.ForEach(grid, [&](uint64_t num, const ChunkCoords&) {
+    needed.push_back(num);
+  });
+  stats->chunks_needed = needed.size();
+  stats->cost_estimate = static_cast<double>(needed.size()) * benefit;
+
+  // 2. Query splitting: CNumsPresent / CNumsMissing (Section 5.2.3).
+  std::vector<AggTuple> rows;
+  std::vector<uint64_t> missing;
+  for (uint64_t num : needed) {
+    const cache::CachedChunk* hit = cache_.Lookup(gb_id, num, filter_hash);
+    if (hit != nullptr) {
+      rows.insert(rows.end(), hit->rows.begin(), hit->rows.end());
+      ++stats->chunks_from_cache;
+    } else {
+      missing.push_back(num);
+    }
+  }
+
+  // 3. Optional middle-tier aggregation of finer cached chunks (paper §7).
+  if (options_.enable_in_cache_aggregation && !missing.empty()) {
+    std::vector<uint64_t> still_missing;
+    for (uint64_t num : missing) {
+      auto aggregated =
+          TryInCacheAggregation(query.group_by, num, filter_hash);
+      if (aggregated) {
+        rows.insert(rows.end(), aggregated->begin(), aggregated->end());
+        ++stats->chunks_from_aggregation;
+        // Admit the derived chunk so the next query gets a direct hit.
+        cache::CachedChunk entry;
+        entry.group_by_id = gb_id;
+        entry.chunk_num = num;
+        entry.filter_hash = filter_hash;
+        entry.benefit = benefit;
+        entry.rows = std::move(*aggregated);
+        cache_.Insert(std::move(entry));
+      } else {
+        still_missing.push_back(num);
+      }
+    }
+    missing = std::move(still_missing);
+  }
+
+  // 4. Compute the remaining misses at the backend and admit them.
+  if (!missing.empty()) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(
+        std::vector<ChunkData> computed,
+        engine_->ComputeChunks(query.group_by, missing, query.non_group_by,
+                               &stats->backend_work));
+    stats->chunks_from_backend = computed.size();
+    for (ChunkData& data : computed) {
+      rows.insert(rows.end(), data.rows.begin(), data.rows.end());
+      cache::CachedChunk entry;
+      entry.group_by_id = gb_id;
+      entry.chunk_num = data.chunk_num;
+      entry.filter_hash = filter_hash;
+      entry.benefit = benefit;
+      entry.rows = std::move(data.rows);
+      cache_.Insert(std::move(entry));
+    }
+  }
+
+  // 5. Post-processing: trim boundary extras, canonical order.
+  rows = backend::FilterRows(std::move(rows), query.group_by.num_dims,
+                             query.selection);
+  backend::SortRows(&rows, query.group_by.num_dims);
+
+  stats->full_cache_hit = missing.empty() && stats->chunks_from_backend == 0;
+  stats->saved_fraction =
+      stats->chunks_needed == 0
+          ? 0.0
+          : static_cast<double>(stats->chunks_from_cache +
+                                stats->chunks_from_aggregation) /
+                static_cast<double>(stats->chunks_needed);
+  stats->modeled_ms = options_.cost_model.Cost(
+      stats->backend_work.pages_read, stats->backend_work.pages_written,
+      stats->backend_work.tuples_processed);
+
+  // 6. Optional drill-down prefetch (paper §7), charged separately.
+  if (options_.enable_drill_down_prefetch) {
+    CHUNKCACHE_RETURN_IF_ERROR(
+        PrefetchDrillDown(query, needed, filter_hash, stats));
+  }
+  return rows;
+}
+
+std::optional<std::vector<AggTuple>> ChunkCacheManager::TryInCacheAggregation(
+    const GroupBySpec& target, uint64_t chunk_num, uint64_t filter_hash) {
+  const chunks::ChunkingScheme& scheme = engine_->scheme();
+  // Candidate source group-bys: any strictly finer group-by that has
+  // cached chunks at all. The per-group-by counters make the scan cheap.
+  for (uint32_t id = 0; id < scheme.NumGroupByIds(); ++id) {
+    if (cache_.CountForGroupBy(id) == 0) continue;
+    const GroupBySpec src = scheme.SpecOfId(id);
+    if (src == target || !target.CoarserOrEqual(src)) continue;
+    auto box = scheme.SourceBox(target, chunk_num, src);
+    if (!box.ok()) continue;
+    // All source chunks must be cached under the same filter.
+    bool all_present = true;
+    const chunks::ChunkGrid& src_grid = scheme.GridFor(src);
+    box->ForEach(src_grid, [&](uint64_t src_num, const ChunkCoords&) {
+      if (!cache_.Contains(id, src_num, filter_hash)) all_present = false;
+    });
+    if (!all_present) continue;
+    // Aggregate them.
+    backend::HashAggregator agg(&scheme, target);
+    box->ForEach(src_grid, [&](uint64_t src_num, const ChunkCoords&) {
+      const cache::CachedChunk* chunk =
+          cache_.Lookup(id, src_num, filter_hash);
+      CHUNKCACHE_DCHECK(chunk != nullptr);
+      for (const AggTuple& row : chunk->rows) agg.AddAgg(row, src);
+    });
+    std::vector<AggTuple> rows = agg.TakeRows();
+    backend::SortRows(&rows, target.num_dims);
+    return rows;
+  }
+  return std::nullopt;
+}
+
+Status ChunkCacheManager::PrefetchDrillDown(
+    const StarJoinQuery& query, const std::vector<uint64_t>& chunk_nums,
+    uint64_t filter_hash, QueryStats* stats) {
+  const chunks::ChunkingScheme& scheme = engine_->scheme();
+  // Drill-down target: every grouped dimension one level finer.
+  GroupBySpec drill = query.group_by;
+  bool changed = false;
+  for (uint32_t d = 0; d < drill.num_dims; ++d) {
+    const auto& h = scheme.schema().dimension(d).hierarchy;
+    if (drill.levels[d] < h.depth()) {
+      drill.levels[d]++;
+      changed = true;
+    }
+  }
+  if (!changed) return Status::OK();  // already at base everywhere
+  const uint32_t drill_id = scheme.GroupById(drill);
+  const double drill_benefit = scheme.ChunkBenefit(drill);
+  const chunks::ChunkGrid& drill_grid = scheme.GridFor(drill);
+
+  std::vector<uint64_t> to_fetch;
+  for (uint64_t num : chunk_nums) {
+    if (to_fetch.size() >= options_.prefetch_budget_chunks) break;
+    auto box = scheme.SourceBox(query.group_by, num, drill);
+    if (!box.ok()) return box.status();
+    box->ForEach(drill_grid, [&](uint64_t child, const ChunkCoords&) {
+      if (to_fetch.size() >= options_.prefetch_budget_chunks) return;
+      if (!cache_.Contains(drill_id, child, filter_hash)) {
+        to_fetch.push_back(child);
+      }
+    });
+  }
+  if (to_fetch.empty()) return Status::OK();
+  CHUNKCACHE_ASSIGN_OR_RETURN(
+      std::vector<ChunkData> computed,
+      engine_->ComputeChunks(drill, to_fetch, query.non_group_by,
+                             &stats->prefetch_work));
+  for (ChunkData& data : computed) {
+    cache::CachedChunk entry;
+    entry.group_by_id = drill_id;
+    entry.chunk_num = data.chunk_num;
+    entry.filter_hash = filter_hash;
+    entry.benefit = drill_benefit;
+    entry.rows = std::move(data.rows);
+    cache_.Insert(std::move(entry));
+    ++stats->prefetched_chunks;
+  }
+  return Status::OK();
+}
+
+}  // namespace chunkcache::core

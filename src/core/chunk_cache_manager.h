@@ -1,0 +1,75 @@
+#ifndef CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
+#define CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/engine.h"
+#include "cache/chunk_cache.h"
+#include "core/middle_tier.h"
+
+namespace chunkcache::core {
+
+/// Configuration of the chunk-caching middle tier.
+struct ChunkManagerOptions {
+  uint64_t cache_bytes = 30ull << 20;   ///< Paper: 30 MB cache.
+  std::string policy = "benefit-clock";  ///< lru | clock | benefit-clock.
+  CostModel cost_model;
+
+  /// Paper §7 future work: answer a missing chunk by aggregating *finer*
+  /// chunks already in the cache instead of going to the backend.
+  bool enable_in_cache_aggregation = false;
+
+  /// Paper §7 future work: after answering a query, prefetch the
+  /// corresponding chunks one hierarchy level finer (anticipating drill
+  /// down), up to prefetch_budget_chunks per query.
+  bool enable_drill_down_prefetch = false;
+  uint32_t prefetch_budget_chunks = 32;
+};
+
+/// The paper's middle tier (Sections 3 and 5): decomposes each query into
+/// the chunks it needs, answers what it can from the chunk cache, asks the
+/// backend to compute only the missing chunks, post-filters boundary
+/// extras, and admits the fresh chunks into the cache under the
+/// benefit-weighted replacement policy.
+class ChunkCacheManager final : public MiddleTier {
+ public:
+  ChunkCacheManager(backend::BackendEngine* engine,
+                    ChunkManagerOptions options);
+
+  Result<std::vector<backend::ResultRow>> Execute(
+      const backend::StarJoinQuery& query, QueryStats* stats) override;
+
+  std::string name() const override { return "chunk-cache"; }
+
+  cache::ChunkCache& chunk_cache() { return cache_; }
+  const ChunkManagerOptions& options() const { return options_; }
+
+  /// Signature of a query's non-group-by predicate list; part of every
+  /// cached chunk's identity (0 = no predicates). Exposed for tests.
+  static uint64_t FilterHash(
+      const std::vector<backend::NonGroupByPredicate>& preds);
+
+ private:
+  /// Tries to build the missing chunk by aggregating finer chunks already
+  /// in the cache; returns the rows or nullopt.
+  std::optional<std::vector<storage::AggTuple>> TryInCacheAggregation(
+      const chunks::GroupBySpec& target, uint64_t chunk_num,
+      uint64_t filter_hash);
+
+  /// Computes the drill-down spec (every grouped dimension one level
+  /// finer, capped at base), and prefetches the missing child chunks of
+  /// `chunk_nums`.
+  Status PrefetchDrillDown(const backend::StarJoinQuery& query,
+                           const std::vector<uint64_t>& chunk_nums,
+                           uint64_t filter_hash, QueryStats* stats);
+
+  backend::BackendEngine* engine_;
+  ChunkManagerOptions options_;
+  cache::ChunkCache cache_;
+};
+
+}  // namespace chunkcache::core
+
+#endif  // CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_

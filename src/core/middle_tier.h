@@ -1,0 +1,82 @@
+#ifndef CHUNKCACHE_CORE_MIDDLE_TIER_H_
+#define CHUNKCACHE_CORE_MIDDLE_TIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/star_join_query.h"
+#include "common/cost_model.h"
+#include "common/status.h"
+
+namespace chunkcache::core {
+
+/// Per-query execution report, filled by every MiddleTier implementation.
+struct QueryStats {
+  /// Physical backend work this query triggered (pages, tuples).
+  WorkCounters backend_work;
+
+  /// Extra backend work done speculatively (drill-down prefetch); kept
+  /// separate from backend_work so foreground latency stays comparable.
+  WorkCounters prefetch_work;
+
+  /// Modeled execution time of the backend work under the experiment's
+  /// CostModel (the number the figures plot).
+  double modeled_ms = 0;
+
+  uint64_t chunks_needed = 0;
+  uint64_t chunks_from_cache = 0;
+  uint64_t chunks_from_aggregation = 0;  ///< In-cache aggregation extension.
+  uint64_t chunks_from_backend = 0;
+  uint64_t prefetched_chunks = 0;
+
+  /// True when the query was answered without touching the backend.
+  bool full_cache_hit = false;
+
+  /// Normalized query cost c_i for the cost-saving-ratio metric: the
+  /// expected number of base tuples the backend would scan to compute the
+  /// query with a cold cache. Comparable across caching schemes.
+  double cost_estimate = 0;
+
+  /// Fraction of cost_estimate served from the cache (h_i/r_i generalized
+  /// to partial chunk hits).
+  double saved_fraction = 0;
+};
+
+/// Accumulates the paper's Cost Saving Ratio (Section 6.1.3, after
+/// [SSV]-style profit metrics): CSR = sum(c_i * h_i) / sum(c_i * r_i),
+/// generalized so a query answered partially from the cache contributes
+/// its satisfied fraction.
+class CsrAccumulator {
+ public:
+  void Record(const QueryStats& s) {
+    total_ += s.cost_estimate;
+    saved_ += s.cost_estimate * s.saved_fraction;
+  }
+  double Csr() const { return total_ == 0 ? 0 : saved_ / total_; }
+  double total_cost() const { return total_; }
+  void Reset() { total_ = saved_ = 0; }
+
+ private:
+  double total_ = 0;
+  double saved_ = 0;
+};
+
+/// A middle tier answers star-join queries, possibly out of a cache. The
+/// three implementations (chunk caching, query caching, no cache) share
+/// this interface so experiments can swap them freely.
+class MiddleTier {
+ public:
+  virtual ~MiddleTier() = default;
+
+  /// Answers `query`, filling `*stats` (required). Rows come back sorted
+  /// canonically and exactly filtered to the query's selection.
+  virtual Result<std::vector<backend::ResultRow>> Execute(
+      const backend::StarJoinQuery& query, QueryStats* stats) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace chunkcache::core
+
+#endif  // CHUNKCACHE_CORE_MIDDLE_TIER_H_

@@ -1,0 +1,46 @@
+#include "core/multi_range.h"
+
+#include "backend/aggregator.h"
+#include "common/logging.h"
+
+namespace chunkcache::core {
+
+using backend::ResultRow;
+
+Result<std::vector<ResultRow>> ExecuteMultiRange(
+    MiddleTier* tier, const backend::MultiRangeQuery& query,
+    QueryStats* stats, uint64_t max_boxes) {
+  CHUNKCACHE_CHECK(stats != nullptr);
+  *stats = QueryStats();
+  CHUNKCACHE_ASSIGN_OR_RETURN(
+      std::vector<backend::StarJoinQuery> boxes,
+      backend::DecomposeToBoxQueries(query, max_boxes));
+  std::vector<ResultRow> rows;
+  bool all_hit = true;
+  double saved_weighted = 0;
+  for (const backend::StarJoinQuery& box : boxes) {
+    QueryStats s;
+    CHUNKCACHE_ASSIGN_OR_RETURN(std::vector<ResultRow> part,
+                                tier->Execute(box, &s));
+    rows.insert(rows.end(), part.begin(), part.end());
+    stats->backend_work += s.backend_work;
+    stats->prefetch_work += s.prefetch_work;
+    stats->modeled_ms += s.modeled_ms;
+    stats->chunks_needed += s.chunks_needed;
+    stats->chunks_from_cache += s.chunks_from_cache;
+    stats->chunks_from_aggregation += s.chunks_from_aggregation;
+    stats->chunks_from_backend += s.chunks_from_backend;
+    stats->prefetched_chunks += s.prefetched_chunks;
+    stats->cost_estimate += s.cost_estimate;
+    saved_weighted += s.saved_fraction * s.cost_estimate;
+    all_hit = all_hit && s.full_cache_hit;
+  }
+  stats->full_cache_hit = all_hit;
+  stats->saved_fraction =
+      stats->cost_estimate == 0 ? 0 : saved_weighted / stats->cost_estimate;
+  // Boxes are disjoint, so cells never merge — one global sort suffices.
+  backend::SortRows(&rows, query.group_by.num_dims);
+  return rows;
+}
+
+}  // namespace chunkcache::core

@@ -1,0 +1,22 @@
+#ifndef CHUNKCACHE_CORE_MULTI_RANGE_H_
+#define CHUNKCACHE_CORE_MULTI_RANGE_H_
+
+#include <vector>
+
+#include "backend/multi_range_query.h"
+#include "core/middle_tier.h"
+
+namespace chunkcache::core {
+
+/// Answers a multi-range (IN-list) query through any middle tier by
+/// decomposing it into box queries, concatenating their disjoint results,
+/// and summing their statistics. `stats` aggregates: cost estimates and
+/// chunk counters add up; saved_fraction is the cost-weighted mean;
+/// full_cache_hit holds iff every box was one.
+Result<std::vector<backend::ResultRow>> ExecuteMultiRange(
+    MiddleTier* tier, const backend::MultiRangeQuery& query,
+    QueryStats* stats, uint64_t max_boxes = 4096);
+
+}  // namespace chunkcache::core
+
+#endif  // CHUNKCACHE_CORE_MULTI_RANGE_H_

@@ -1,0 +1,107 @@
+#ifndef CHUNKCACHE_INDEX_BITMAP_H_
+#define CHUNKCACHE_INDEX_BITMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace chunkcache::index {
+
+/// In-memory bitset over row ids, the working representation for bitmap
+/// query evaluation (result of reading one or more stored bitmaps and
+/// combining them with AND/OR).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(uint64_t num_bits)
+      : num_bits_(num_bits), words_(bit_util::WordsForBits(num_bits), 0) {}
+
+  uint64_t num_bits() const { return num_bits_; }
+
+  void Set(uint64_t i) {
+    CHUNKCACHE_DCHECK(i < num_bits_);
+    bit_util::SetBit(words_.data(), i);
+  }
+  void Clear(uint64_t i) {
+    CHUNKCACHE_DCHECK(i < num_bits_);
+    bit_util::ClearBit(words_.data(), i);
+  }
+  bool Get(uint64_t i) const {
+    CHUNKCACHE_DCHECK(i < num_bits_);
+    return bit_util::GetBit(words_.data(), i);
+  }
+
+  /// Sets every bit (then clears the tail padding).
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+
+  /// this &= other. Sizes must match.
+  void And(const Bitmap& other) {
+    CHUNKCACHE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this |= other. Sizes must match.
+  void Or(const Bitmap& other) {
+    CHUNKCACHE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this = ~this (respecting num_bits).
+  void Not() {
+    for (auto& w : words_) w = ~w;
+    TrimTail();
+  }
+
+  /// Number of set bits.
+  uint64_t CountSet() const {
+    uint64_t n = 0;
+    for (uint64_t w : words_) n += bit_util::PopCount(w);
+    return n;
+  }
+
+  /// Calls `fn(i)` for each set bit in ascending order.
+  void ForEachSet(const std::function<void(uint64_t)>& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(static_cast<uint64_t>(wi) * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Set bits as a sorted vector (row ids).
+  std::vector<uint64_t> ToVector() const {
+    std::vector<uint64_t> out;
+    out.reserve(CountSet());
+    ForEachSet([&out](uint64_t i) { out.push_back(i); });
+    return out;
+  }
+
+  /// Raw word access for (de)serialization.
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+ private:
+  void TrimTail() {
+    const uint64_t tail = num_bits_ % 64;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  uint64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace chunkcache::index
+
+#endif  // CHUNKCACHE_INDEX_BITMAP_H_

@@ -1,0 +1,145 @@
+#ifndef CHUNKCACHE_INDEX_BTREE_H_
+#define CHUNKCACHE_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace chunkcache::index {
+
+/// Fixed 16-byte B+Tree payload. The chunked file stores
+/// {first RowId, tuple count} of each chunk's run; other users are free to
+/// reinterpret the two words.
+struct BTreePayload {
+  uint64_t v1 = 0;
+  uint64_t v2 = 0;
+
+  friend bool operator==(const BTreePayload& a, const BTreePayload& b) {
+    return a.v1 == b.v1 && a.v2 == b.v2;
+  }
+};
+
+/// Disk-resident B+Tree mapping uint64 keys to BTreePayload, layered on the
+/// buffer pool. This is the *chunk index* of the chunked file organization
+/// (Section 5.3 of the paper: "The BTree holds one entry for each chunk and
+/// points to the start of the chunk in the fact file"), and is also usable
+/// as a general key index.
+///
+/// Supports point insert/get/delete (with node merging), inclusive range
+/// scans via leaf chaining, and bottom-up bulk load from sorted input.
+/// Keys are unique. Not thread-safe.
+class BTree {
+ public:
+  /// Creates a new empty tree in a fresh DiskManager file.
+  static Result<BTree> Create(storage::BufferPool* pool);
+
+  /// Opens an existing tree by DiskManager file id.
+  static Result<BTree> Open(storage::BufferPool* pool, uint32_t file_id);
+
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  /// Inserts `key`; fails with AlreadyExists on duplicates.
+  Status Insert(uint64_t key, BTreePayload value);
+
+  /// Inserts or overwrites `key`.
+  Status Upsert(uint64_t key, BTreePayload value);
+
+  /// Point lookup; NotFound if absent.
+  Result<BTreePayload> Get(uint64_t key);
+
+  /// Removes `key`; NotFound if absent. Underfull nodes are repaired by
+  /// borrowing from or merging with a sibling.
+  Status Delete(uint64_t key);
+
+  /// Visits entries with lo <= key <= hi in key order. `fn` returning false
+  /// stops the scan.
+  Status ScanRange(uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, const BTreePayload&)>& fn);
+
+  /// Builds the tree bottom-up from strictly-ascending (key, payload)
+  /// pairs. The tree must be empty.
+  Status BulkLoad(const std::vector<std::pair<uint64_t, BTreePayload>>& sorted);
+
+  /// Number of entries.
+  uint64_t size() const { return size_; }
+
+  /// Height of the tree (1 = root is a leaf).
+  uint32_t height() const { return height_; }
+
+  uint32_t file_id() const { return file_id_; }
+
+  /// Persists the meta page (root pointer, size). Call after bulk changes.
+  Status SyncMeta();
+
+  /// Verifies structural invariants (ordering, fill factors, leaf chain);
+  /// used by tests. O(n).
+  Status CheckInvariants();
+
+ private:
+  BTree(storage::BufferPool* pool, uint32_t file_id)
+      : pool_(pool), file_id_(file_id) {}
+
+  // --- node layout ---------------------------------------------------------
+  // Page 0 of the file is the meta page; nodes start at page 1.
+  struct MetaPage {
+    uint64_t magic;
+    uint32_t root_page;
+    uint32_t height;
+    uint64_t size;
+  };
+  struct NodeHeader {
+    uint8_t is_leaf;
+    uint8_t pad[3];
+    uint32_t count;        // number of keys
+    uint32_t right_sibling;  // leaf chain; 0 = none
+    uint32_t pad2;
+  };
+  static constexpr uint64_t kMagic = 0x4254524545763031ULL;  // "BTREEv01"
+  static constexpr uint32_t kHeaderSize = 16;
+  // Leaf entry: 8B key + 16B payload.
+  static constexpr uint32_t kLeafCapacity =
+      (storage::kPageSize - kHeaderSize) / 24;
+  // Internal node with n keys has n+1 children: n*8 + (n+1)*4 bytes.
+  static constexpr uint32_t kInternalCapacity =
+      (storage::kPageSize - kHeaderSize - 4) / 12;
+
+  // Typed views over a node page.
+  static NodeHeader* Header(storage::Page* p);
+  static uint64_t* Keys(storage::Page* p);
+  static BTreePayload* Payloads(storage::Page* p);  // leaves only
+  static uint32_t* Children(storage::Page* p);      // internals only
+
+  Result<uint32_t> NewNode(bool leaf);
+  storage::PageId Pid(uint32_t page_no) const { return {file_id_, page_no}; }
+
+  /// Descends from the root to the leaf that should hold `key`, recording
+  /// the path (page numbers) and the child index taken at each internal
+  /// node.
+  Status FindLeaf(uint64_t key, std::vector<uint32_t>* path,
+                  std::vector<uint32_t>* child_idx);
+
+  Status InsertInternal(uint64_t key, BTreePayload value, bool allow_replace);
+
+  /// Splits the full node `child_no` (child `idx` of `parent_no`); the
+  /// parent must have room for the promoted separator.
+  Status SplitChild(uint32_t parent_no, uint32_t idx, uint32_t child_no);
+
+  /// Repairs underfull nodes from the leaf at the end of `path` upward.
+  Status RebalanceUp(std::vector<uint32_t>& path,
+                     std::vector<uint32_t>& child_idx);
+
+  storage::BufferPool* pool_;
+  uint32_t file_id_;
+  uint32_t root_page_ = 0;
+  uint32_t height_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace chunkcache::index
+
+#endif  // CHUNKCACHE_INDEX_BTREE_H_

@@ -1,0 +1,157 @@
+#include "schema/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace chunkcache::schema {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  // Trim unquoted whitespace.
+  for (auto& f : fields) {
+    const auto b = f.find_first_not_of(" \t\r");
+    const auto e = f.find_last_not_of(" \t\r");
+    f = b == std::string::npos ? "" : f.substr(b, e - b + 1);
+  }
+  return fields;
+}
+
+Result<Dimension> LoadDimensionCsv(const std::string& dim_name,
+                                   const std::vector<std::string>& level_names,
+                                   std::istream& in) {
+  if (level_names.empty()) {
+    return Status::InvalidArgument("LoadDimensionCsv: no levels");
+  }
+  const size_t depth = level_names.size();
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool header_skipped = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != depth) {
+      return Status::InvalidArgument(
+          "LoadDimensionCsv: line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(depth));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("LoadDimensionCsv: no data rows");
+  }
+  // Sorting by full path guarantees hierarchical clustering.
+  std::sort(rows.begin(), rows.end());
+
+  // The builder takes whole levels top-down; dedup consecutive equal path
+  // prefixes per level and remember each row's member ordinal so the next
+  // level can name its parent.
+  HierarchyBuilder b2;
+  std::vector<uint32_t> parent_of_row(rows.size());
+  for (size_t li = 0; li < depth; ++li) {
+    b2.AddLevel(level_names[li]);
+    std::string prev_path;
+    uint32_t ordinal = 0;
+    bool first = true;
+    std::vector<uint32_t> ordinal_of_row(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      // Path prefix through level li identifies the member.
+      std::string path;
+      for (size_t l = 0; l <= li; ++l) path += rows[r][l] + "\x1f";
+      if (first || path != prev_path) {
+        auto added = b2.AddMember(rows[r][li],
+                                  li == 0 ? 0 : parent_of_row[r]);
+        if (!added.ok()) {
+          // Same member name under a different parent collides: the data
+          // must disambiguate names (documented contract).
+          return added.status();
+        }
+        ordinal = *added;
+        prev_path = path;
+        first = false;
+      }
+      ordinal_of_row[r] = ordinal;
+    }
+    parent_of_row = std::move(ordinal_of_row);
+  }
+  CHUNKCACHE_ASSIGN_OR_RETURN(Hierarchy h, b2.Build());
+  return Dimension{dim_name, std::move(h)};
+}
+
+Result<std::vector<storage::Tuple>> LoadFactCsv(const StarSchema& schema,
+                                                std::istream& in) {
+  std::vector<storage::Tuple> tuples;
+  std::string line;
+  bool header_skipped = false;
+  size_t line_no = 0;
+  const uint32_t num_dims = schema.num_dims();
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != num_dims + 1) {
+      return Status::InvalidArgument(
+          "LoadFactCsv: line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(num_dims + 1));
+    }
+    storage::Tuple t;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      const auto& h = schema.dimension(d).hierarchy;
+      auto ord = h.OrdinalOf(h.depth(), fields[d]);
+      if (!ord.ok()) {
+        return Status::NotFound("LoadFactCsv: line " +
+                                std::to_string(line_no) + ": " +
+                                ord.status().message());
+      }
+      t.keys[d] = *ord;
+    }
+    char* end = nullptr;
+    t.measure = std::strtod(fields[num_dims].c_str(), &end);
+    if (end == fields[num_dims].c_str()) {
+      return Status::InvalidArgument("LoadFactCsv: line " +
+                                     std::to_string(line_no) +
+                                     ": bad measure '" + fields[num_dims] +
+                                     "'");
+    }
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+}  // namespace chunkcache::schema

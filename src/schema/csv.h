@@ -1,0 +1,49 @@
+#ifndef CHUNKCACHE_SCHEMA_CSV_H_
+#define CHUNKCACHE_SCHEMA_CSV_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/star_schema.h"
+#include "storage/tuple.h"
+
+namespace chunkcache::schema {
+
+/// Splits one CSV line on commas. Double-quoted fields may contain commas
+/// and escaped quotes (""). Surrounding whitespace of unquoted fields is
+/// trimmed.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Loads a dimension from CSV rows of hierarchy paths, one column per
+/// level from the most aggregated to the base, e.g. for
+/// state -> city -> store:
+///
+///   WI,Madison,store_0
+///   WI,Madison,store_1
+///   WI,Milwaukee,store_2
+///   IL,Chicago,store_3
+///
+/// Rows may arrive in any order (they are sorted to satisfy hierarchical
+/// clustering) and duplicate paths are deduplicated. Member names must be
+/// unique within a level: the same city name under two states must be
+/// disambiguated by the source data. A header line is expected and
+/// supplies nothing (level names come from `level_names`).
+Result<Dimension> LoadDimensionCsv(const std::string& dim_name,
+                                   const std::vector<std::string>& level_names,
+                                   std::istream& in);
+
+/// Loads fact tuples from CSV rows of base-level member names per
+/// dimension (schema order) followed by the measure:
+///
+///   store_0,blaire_cotton_shirts,1997-Jan,12.50
+///
+/// A header line is expected and skipped. Unknown members fail with
+/// NotFound naming the offending row.
+Result<std::vector<storage::Tuple>> LoadFactCsv(const StarSchema& schema,
+                                                std::istream& in);
+
+}  // namespace chunkcache::schema
+
+#endif  // CHUNKCACHE_SCHEMA_CSV_H_

@@ -1,0 +1,148 @@
+#include "schema/hierarchy.h"
+
+#include "common/logging.h"
+
+namespace chunkcache::schema {
+
+const std::string& Hierarchy::MemberName(uint32_t level,
+                                         uint32_t ordinal) const {
+  static const std::string kAll = "ALL";
+  if (level == 0) return kAll;
+  CHUNKCACHE_DCHECK(level <= depth());
+  CHUNKCACHE_DCHECK(ordinal < LevelCardinality(level));
+  return levels_[level - 1].members[ordinal];
+}
+
+Result<uint32_t> Hierarchy::OrdinalOf(uint32_t level,
+                                      const std::string& name) const {
+  if (level == 0) return uint32_t{0};
+  if (level > depth()) {
+    return Status::InvalidArgument("OrdinalOf: level out of range");
+  }
+  const auto& by_name = levels_[level - 1].by_name;
+  auto it = by_name.find(name);
+  if (it == by_name.end()) {
+    return Status::NotFound("no member '" + name + "' at level " +
+                            LevelName(level));
+  }
+  return it->second;
+}
+
+OrdinalRange Hierarchy::ChildRange(uint32_t level, uint32_t ordinal) const {
+  CHUNKCACHE_DCHECK(level < depth());
+  if (level == 0) {
+    return OrdinalRange{0, LevelCardinality(1) - 1};
+  }
+  const auto& cb = levels_[level - 1].child_begin;
+  CHUNKCACHE_DCHECK(ordinal + 1 < cb.size());
+  return OrdinalRange{cb[ordinal], cb[ordinal + 1] - 1};
+}
+
+uint32_t Hierarchy::AncestorAt(uint32_t from_level, uint32_t ordinal,
+                               uint32_t to_level) const {
+  CHUNKCACHE_DCHECK(to_level <= from_level);
+  if (to_level == from_level) return ordinal;
+  if (to_level == 0) return 0;
+  if (from_level == depth()) return rollup_[to_level - 1][ordinal];
+  // Walk up level by level (cheap: depth <= 3 in practice).
+  uint32_t cur = ordinal;
+  for (uint32_t l = from_level; l > to_level; --l) cur = ParentOf(l, cur);
+  return cur;
+}
+
+OrdinalRange Hierarchy::BaseRange(uint32_t level, uint32_t ordinal) const {
+  OrdinalRange r{ordinal, ordinal};
+  for (uint32_t l = level; l < depth(); ++l) {
+    const OrdinalRange lo = ChildRange(l, r.begin);
+    const OrdinalRange hi = ChildRange(l, r.end);
+    r = OrdinalRange{lo.begin, hi.end};
+  }
+  return r;
+}
+
+OrdinalRange Hierarchy::BaseRangeOf(uint32_t level, OrdinalRange r) const {
+  const OrdinalRange lo = BaseRange(level, r.begin);
+  const OrdinalRange hi = BaseRange(level, r.end);
+  return OrdinalRange{lo.begin, hi.end};
+}
+
+HierarchyBuilder& HierarchyBuilder::AddLevel(std::string name) {
+  Hierarchy::Level level;
+  level.name = std::move(name);
+  h_.levels_.push_back(std::move(level));
+  return *this;
+}
+
+Result<uint32_t> HierarchyBuilder::AddMember(std::string name,
+                                             uint32_t parent) {
+  if (h_.levels_.empty()) {
+    return Status::InvalidArgument("AddMember before AddLevel");
+  }
+  auto& level = h_.levels_.back();
+  const uint32_t level_no = static_cast<uint32_t>(h_.levels_.size());
+  if (level_no > 1) {
+    const uint32_t parent_card =
+        static_cast<uint32_t>(h_.levels_[level_no - 2].members.size());
+    if (parent >= parent_card) {
+      return Status::InvalidArgument("AddMember: parent ordinal " +
+                                     std::to_string(parent) +
+                                     " out of range");
+    }
+    if (!level.parent.empty() && parent < level.parent.back()) {
+      return Status::InvalidArgument(
+          "AddMember: members must be added in parent order "
+          "(hierarchical clustering)");
+    }
+    level.parent.push_back(parent);
+  }
+  const uint32_t ordinal = static_cast<uint32_t>(level.members.size());
+  if (!level.by_name.emplace(name, ordinal).second) {
+    return Status::AlreadyExists("duplicate member '" + name + "'");
+  }
+  level.members.push_back(std::move(name));
+  return ordinal;
+}
+
+Result<Hierarchy> HierarchyBuilder::Build() {
+  if (h_.levels_.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one level");
+  }
+  for (const auto& level : h_.levels_) {
+    if (level.members.empty()) {
+      return Status::InvalidArgument("level '" + level.name +
+                                     "' has no members");
+    }
+  }
+  // Every parent must have at least one child, or BaseRange would be
+  // ill-defined for it.
+  for (size_t li = 0; li + 1 < h_.levels_.size(); ++li) {
+    auto& level = h_.levels_[li];
+    const auto& child = h_.levels_[li + 1];
+    const uint32_t card = static_cast<uint32_t>(level.members.size());
+    level.child_begin.assign(card + 1, 0);
+    std::vector<uint32_t> child_count(card, 0);
+    for (uint32_t p : child.parent) child_count[p]++;
+    for (uint32_t i = 0; i < card; ++i) {
+      if (child_count[i] == 0) {
+        return Status::InvalidArgument("member '" + level.members[i] +
+                                       "' of level '" + level.name +
+                                       "' has no children");
+      }
+      level.child_begin[i + 1] = level.child_begin[i] + child_count[i];
+    }
+  }
+  // Rollup table: ancestor of each base member at every level.
+  const uint32_t depth = h_.depth();
+  const uint32_t base_card = h_.LevelCardinality(depth);
+  h_.rollup_.assign(depth, std::vector<uint32_t>(base_card));
+  for (uint32_t b = 0; b < base_card; ++b) {
+    uint32_t cur = b;
+    for (uint32_t l = depth; l >= 1; --l) {
+      h_.rollup_[l - 1][b] = cur;
+      cur = h_.ParentOf(l, cur);
+    }
+  }
+  return std::move(h_);
+}
+
+}  // namespace chunkcache::schema

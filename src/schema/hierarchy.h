@@ -1,0 +1,121 @@
+#ifndef CHUNKCACHE_SCHEMA_HIERARCHY_H_
+#define CHUNKCACHE_SCHEMA_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chunkcache::schema {
+
+/// A closed [begin, end] range of ordinals at one hierarchy level.
+struct OrdinalRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;  // inclusive
+
+  uint32_t size() const { return end - begin + 1; }
+  bool Contains(uint32_t v) const { return v >= begin && v <= end; }
+  friend bool operator==(const OrdinalRange& a, const OrdinalRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Dimension hierarchy with the paper's level numbering: level 1 is the most
+/// aggregated *named* level and level depth() the base (most detailed)
+/// level; level 0 is the implicit ALL level with a single member. Members of
+/// each level are identified by dense ordinals that are *hierarchically
+/// clustered*: all children of one parent occupy a contiguous ordinal range
+/// (Section 3.3's ordering requirement). This class is simultaneously the
+/// paper's "Domain Index": it maps member names to ordinals per level, rolls
+/// ordinals up (child -> ancestor) and down (member -> base-level range).
+///
+/// Build one with HierarchyBuilder; instances are immutable afterwards.
+class Hierarchy {
+ public:
+  /// Number of named levels (>= 1); base level index equals depth().
+  uint32_t depth() const { return static_cast<uint32_t>(levels_.size()); }
+
+  /// Members at `level` (level 0 returns 1 for ALL).
+  uint32_t LevelCardinality(uint32_t level) const {
+    return level == 0 ? 1 : static_cast<uint32_t>(
+                                levels_[level - 1].members.size());
+  }
+
+  /// Name of level `level` (1-based; level 0 is "ALL").
+  const std::string& LevelName(uint32_t level) const {
+    static const std::string kAll = "ALL";
+    return level == 0 ? kAll : levels_[level - 1].name;
+  }
+
+  /// Member name at (level, ordinal). Level 0 ordinal 0 is "ALL".
+  const std::string& MemberName(uint32_t level, uint32_t ordinal) const;
+
+  /// Resolves a member name at `level` to its ordinal.
+  Result<uint32_t> OrdinalOf(uint32_t level, const std::string& name) const;
+
+  /// Parent ordinal at level-1 of (level, ordinal). level must be >= 1
+  /// (parent of a level-1 member is ALL, ordinal 0).
+  uint32_t ParentOf(uint32_t level, uint32_t ordinal) const {
+    return level <= 1 ? 0 : levels_[level - 1].parent[ordinal];
+  }
+
+  /// Ordinal range of (level, ordinal)'s children at level+1. level may be
+  /// 0 (children of ALL = the whole of level 1); level must be < depth().
+  OrdinalRange ChildRange(uint32_t level, uint32_t ordinal) const;
+
+  /// Ancestor of (from_level, ordinal) at `to_level` (to_level <=
+  /// from_level). O(1) via the precomputed rollup table.
+  uint32_t AncestorAt(uint32_t from_level, uint32_t ordinal,
+                      uint32_t to_level) const;
+
+  /// Base-level (depth()) ordinal range covered by member (level, ordinal).
+  OrdinalRange BaseRange(uint32_t level, uint32_t ordinal) const;
+
+  /// Base-level range covered by the member range [r.begin, r.end] at
+  /// `level`. Contiguity is guaranteed by hierarchical clustering.
+  OrdinalRange BaseRangeOf(uint32_t level, OrdinalRange r) const;
+
+ private:
+  friend class HierarchyBuilder;
+
+  struct Level {
+    std::string name;
+    std::vector<std::string> members;
+    std::vector<uint32_t> parent;  // ordinal at level-1; empty for level 1
+    std::unordered_map<std::string, uint32_t> by_name;
+    // child_begin[i] = first ordinal at level+1 whose parent is i;
+    // has LevelCardinality+1 entries (last = cardinality of level+1).
+    // Empty for the base level.
+    std::vector<uint32_t> child_begin;
+  };
+
+  // rollup_[l-1][base_ordinal] = ancestor ordinal at level l, for l in
+  // [1, depth].
+  std::vector<Level> levels_;
+  std::vector<std::vector<uint32_t>> rollup_;
+};
+
+/// Incremental builder enforcing the hierarchical-clustering invariant:
+/// members at level l+1 must be added in non-decreasing parent order.
+class HierarchyBuilder {
+ public:
+  /// Appends a level below all existing levels (first call adds level 1).
+  HierarchyBuilder& AddLevel(std::string name);
+
+  /// Adds a member to the deepest level. `parent` is its parent's ordinal
+  /// at the level above (ignored for level 1). Returns the new ordinal.
+  Result<uint32_t> AddMember(std::string name, uint32_t parent = 0);
+
+  /// Validates and finalizes.
+  Result<Hierarchy> Build();
+
+ private:
+  Hierarchy h_;
+};
+
+}  // namespace chunkcache::schema
+
+#endif  // CHUNKCACHE_SCHEMA_HIERARCHY_H_

@@ -1,0 +1,12 @@
+#include "schema/star_schema.h"
+
+namespace chunkcache::schema {
+
+Result<uint32_t> StarSchema::DimensionIndex(const std::string& name) const {
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    if (dimensions_[i].name == name) return i;
+  }
+  return Status::NotFound("no dimension '" + name + "'");
+}
+
+}  // namespace chunkcache::schema

@@ -1,0 +1,46 @@
+#ifndef CHUNKCACHE_SCHEMA_SYNTHETIC_H_
+#define CHUNKCACHE_SCHEMA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "schema/star_schema.h"
+#include "storage/tuple.h"
+
+namespace chunkcache::schema {
+
+/// Builds a synthetic dimension whose level cardinalities are
+/// `level_cards[0..k)` (level 1 first, base level last, per the paper's
+/// Table 1 layout). Children are distributed evenly over parents (with any
+/// remainder spread over the first parents), which automatically satisfies
+/// hierarchical clustering. Member names are "<dim>.<level>.<i>".
+Result<Dimension> BuildSyntheticDimension(
+    const std::string& name, const std::vector<uint32_t>& level_cards);
+
+/// The exact experimental schema of the paper's Section 6.1.1 / Table 1:
+/// four dimensions D0..D3 with hierarchies
+///   D0: 25 / 50 / 100,  D1: 25 / 50,  D2: 5 / 25 / 50,  D3: 10 / 50
+/// and one additive measure.
+Result<StarSchema> BuildPaperSchema();
+
+/// Options for synthetic fact generation.
+struct FactGenOptions {
+  uint64_t num_tuples = 500000;  ///< Paper: 500,000 base tuples.
+  uint64_t seed = 42;
+  /// Zipf skew per dimension key draw; 0 = uniform (the paper's setting).
+  double zipf_theta = 0.0;
+  double measure_min = 0.0;
+  double measure_max = 100.0;
+};
+
+/// Generates fact tuples for `schema` (keys are base-level ordinals drawn
+/// per FactGenOptions, measure uniform in [measure_min, measure_max)).
+std::vector<storage::Tuple> GenerateFactTuples(const StarSchema& schema,
+                                               const FactGenOptions& opts);
+
+}  // namespace chunkcache::schema
+
+#endif  // CHUNKCACHE_SCHEMA_SYNTHETIC_H_

@@ -1,0 +1,124 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace chunkcache::storage {
+
+void PageGuard::MarkDirty() {
+  CHUNKCACHE_DCHECK(valid());
+  // Mark through the pool so the flag lives on the frame, not the guard.
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (page_ != nullptr) {
+    pool_->Unpin(frame_, /*dirty=*/false);
+    page_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t num_frames)
+    : disk_(disk), frames_(num_frames) {
+  CHUNKCACHE_CHECK(num_frames > 0);
+  table_.reserve(num_frames * 2);
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pin_count++;
+    f.referenced = true;
+    ++stats_.hits;
+    return PageGuard(this, it->second, id, &f.page);
+  }
+  ++stats_.misses;
+  CHUNKCACHE_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  CHUNKCACHE_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.referenced = true;
+  f.in_use = true;
+  table_.emplace(id, frame);
+  return PageGuard(this, frame, id, &f.page);
+}
+
+Result<PageGuard> BufferPool::Allocate(uint32_t file_id) {
+  CHUNKCACHE_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage(file_id));
+  CHUNKCACHE_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  f.page.Zero();
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // fresh page must eventually reach disk
+  f.referenced = true;
+  f.in_use = true;
+  table_.emplace(id, frame);
+  return PageGuard(this, frame, id, &f.page);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  for (Frame& f : frames_) {
+    if (!f.in_use) continue;
+    if (f.pin_count > 0) {
+      return Status::Internal("EvictAll with pinned page");
+    }
+    if (f.dirty) {
+      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      ++stats_.dirty_writebacks;
+    }
+    table_.erase(f.id);
+    f = Frame();
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(uint32_t frame, bool dirty) {
+  Frame& f = frames_[frame];
+  CHUNKCACHE_DCHECK(f.pin_count > 0);
+  f.pin_count--;
+  f.dirty = f.dirty || dirty;
+}
+
+Result<uint32_t> BufferPool::GrabFrame() {
+  const uint32_t n = static_cast<uint32_t>(frames_.size());
+  // Two sweeps of CLOCK: the first clears reference bits, the second takes
+  // the first unpinned frame. 2n+1 steps bound guarantees termination.
+  for (uint32_t step = 0; step < 2 * n + 1; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const uint32_t current = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (!f.in_use) return current;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    // Victim found.
+    if (f.dirty) {
+      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      ++stats_.dirty_writebacks;
+    }
+    table_.erase(f.id);
+    ++stats_.evictions;
+    f = Frame();
+    return current;
+  }
+  return Status::ResourceExhausted("buffer pool: all frames pinned");
+}
+
+}  // namespace chunkcache::storage

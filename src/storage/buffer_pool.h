@@ -1,0 +1,134 @@
+#ifndef CHUNKCACHE_STORAGE_BUFFER_POOL_H_
+#define CHUNKCACHE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace chunkcache::storage {
+
+class BufferPool;
+
+/// Pins one page in the buffer pool for the guard's lifetime; unpins on
+/// destruction. Movable, not copyable. Obtained from BufferPool::Fetch or
+/// BufferPool::Allocate.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, uint32_t frame, PageId id, Page* page)
+      : pool_(pool), frame_(frame), id_(id), page_(page) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { MoveFrom(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return page_ != nullptr; }
+  PageId id() const { return id_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+
+  /// Marks the page dirty so eviction writes it back.
+  void MarkDirty();
+
+  /// Unpins immediately (idempotent).
+  void Release();
+
+ private:
+  void MoveFrom(PageGuard& o) {
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    page_ = o.page_;
+    o.page_ = nullptr;
+    o.pool_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+};
+
+/// Buffer-pool hit/miss statistics. A miss costs one physical read against
+/// the DiskManager (plus possibly one write-back of a dirty victim).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Fixed-capacity page cache over a DiskManager, with CLOCK (second chance)
+/// replacement — the same policy family the paper uses for its chunk cache.
+/// All page access in the backend goes through here, so the pool size is the
+/// experiment knob corresponding to the paper's "8 MB buffer pool".
+///
+/// Not thread-safe: the reproduction drives a single query stream, as the
+/// paper's experiments did.
+class BufferPool {
+ public:
+  /// `num_frames` pages of capacity (e.g. 8 MiB / 4 KiB = 2048 frames).
+  BufferPool(DiskManager* disk, uint32_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page `id`, reading it from disk on a miss. Fails with
+  /// ResourceExhausted if every frame is pinned.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in `file_id` and pins it (already zeroed).
+  Result<PageGuard> Allocate(uint32_t file_id);
+
+  /// Writes back all dirty pages (pages stay cached).
+  Status FlushAll();
+
+  /// Drops every unpinned page (writing back dirty ones). Used between
+  /// experiment phases to start cold, mimicking the paper's raw device.
+  Status EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+    bool in_use = false;
+  };
+
+  void Unpin(uint32_t frame, bool dirty);
+  /// Finds a victim frame via CLOCK; writes back if dirty. Returns frame
+  /// index or ResourceExhausted.
+  Result<uint32_t> GrabFrame();
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t, PageIdHash> table_;
+  uint32_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace chunkcache::storage
+
+#endif  // CHUNKCACHE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "backend/materialization_advisor.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace chunkcache::backend {
+namespace {
+
+using chunks::ChunkingOptions;
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+
+class AdvisorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    auto scheme = ChunkingScheme::Build(schema_.get(), ChunkingOptions{},
+                                        500000);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<ChunkingScheme>(std::move(scheme).value());
+  }
+
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<ChunkingScheme> scheme_;
+};
+
+TEST_F(AdvisorFixture, RowEstimatesAreSaneAndMonotone) {
+  const uint64_t n = 500000;
+  // Tiny group-by: essentially every cell is hit.
+  GroupBySpec tiny{{1, 0, 0, 0}, 4};  // 25 cells
+  EXPECT_EQ(EstimateGroupByRows(*scheme_, tiny, n), 25u);
+  // Base group-by: 12.5M cells, 500k tuples -> close to 500k rows, and
+  // never more than either bound.
+  const GroupBySpec base = scheme_->BaseSpec();
+  const uint64_t base_rows = EstimateGroupByRows(*scheme_, base, n);
+  EXPECT_LE(base_rows, n);
+  EXPECT_GT(base_rows, n * 9 / 10);
+  // Coarsening any dimension can only reduce the estimate.
+  GroupBySpec coarser = base;
+  coarser.levels[0] = 1;
+  EXPECT_LE(EstimateGroupByRows(*scheme_, coarser, n), base_rows);
+  // Degenerate: one tuple, huge grid -> about one row.
+  EXPECT_EQ(EstimateGroupByRows(*scheme_, base, 1), 1u);
+}
+
+TEST_F(AdvisorFixture, GreedyPicksHaveDecreasingBenefit) {
+  AdvisorOptions opts;
+  opts.budget_views = 8;
+  auto picks = SelectViewsToMaterialize(*scheme_, 500000, opts);
+  ASSERT_GT(picks.size(), 0u);
+  ASSERT_LE(picks.size(), 8u);
+  for (size_t i = 1; i < picks.size(); ++i) {
+    EXPECT_LE(picks[i].benefit, picks[i - 1].benefit) << "pick " << i;
+  }
+  // No duplicates, never the base.
+  std::set<uint32_t> ids;
+  for (const auto& p : picks) {
+    EXPECT_FALSE(p.spec == scheme_->BaseSpec());
+    EXPECT_TRUE(ids.insert(scheme_->GroupById(p.spec)).second);
+    EXPECT_TRUE(p.spec.CoarserOrEqual(scheme_->BaseSpec()));
+  }
+}
+
+TEST_F(AdvisorFixture, RespectsRowFractionCap) {
+  AdvisorOptions opts;
+  opts.budget_views = 8;
+  opts.max_rows_fraction = 0.05;
+  auto picks = SelectViewsToMaterialize(*scheme_, 500000, opts);
+  const uint64_t base_rows =
+      EstimateGroupByRows(*scheme_, scheme_->BaseSpec(), 500000);
+  for (const auto& p : picks) {
+    EXPECT_LE(p.estimated_rows, base_rows / 20 + 1);
+  }
+}
+
+TEST_F(AdvisorFixture, ZeroBudgetPicksNothing) {
+  AdvisorOptions opts;
+  opts.budget_views = 0;
+  EXPECT_TRUE(SelectViewsToMaterialize(*scheme_, 500000, opts).empty());
+}
+
+TEST_F(AdvisorFixture, FirstPickCoversTheLatticeBroadly) {
+  // The first greedy pick must be answerable-from for many group-bys and
+  // much smaller than base — for this schema that means a mid-level view,
+  // not a leaf-adjacent one.
+  AdvisorOptions opts;
+  opts.budget_views = 1;
+  auto picks = SelectViewsToMaterialize(*scheme_, 500000, opts);
+  ASSERT_EQ(picks.size(), 1u);
+  uint32_t covered = 0;
+  for (uint32_t id = 0; id < scheme_->NumGroupByIds(); ++id) {
+    covered += scheme_->SpecOfId(id).CoarserOrEqual(picks[0].spec);
+  }
+  EXPECT_GT(covered, 16u);
+  EXPECT_LT(picks[0].estimated_rows, 500000u / 2);
+}
+
+TEST_F(AdvisorFixture, AdvisedViewsMaterializeAndServeQueries) {
+  // End-to-end: materialize the advisor's picks and check that chunk
+  // computation prefers them (fewer tuples processed than from base).
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  schema::FactGenOptions gen;
+  gen.num_tuples = 30000;
+  auto scheme_small =
+      ChunkingScheme::Build(schema_.get(), ChunkingOptions{}, 30000);
+  ASSERT_TRUE(scheme_small.ok());
+  auto file = ChunkedFile::BulkLoad(&pool, &*scheme_small,
+                                    schema::GenerateFactTuples(*schema_, gen));
+  ASSERT_TRUE(file.ok());
+  BackendEngine engine(&pool, &*file, &*scheme_small);
+
+  AdvisorOptions opts;
+  opts.budget_views = 2;
+  auto picks = SelectViewsToMaterialize(*scheme_small, 30000, opts);
+  ASSERT_GT(picks.size(), 0u);
+  for (const auto& p : picks) {
+    ASSERT_TRUE(engine.MaterializeAggregate(p.spec).ok());
+  }
+  // A coarse group-by answerable from the first pick.
+  GroupBySpec coarse{{1, 0, 0, 0}, 4};
+  ASSERT_TRUE(coarse.CoarserOrEqual(picks[0].spec));
+  const auto& grid = scheme_small->GridFor(coarse);
+  std::vector<uint64_t> nums(grid.num_chunks());
+  for (uint64_t i = 0; i < nums.size(); ++i) nums[i] = i;
+  WorkCounters with_views, from_base;
+  ASSERT_TRUE(engine.ComputeChunks(coarse, nums, {}, &with_views).ok());
+  BackendEngine plain(&pool, &*file, &*scheme_small);
+  ASSERT_TRUE(plain.ComputeChunks(coarse, nums, {}, &from_base).ok());
+  EXPECT_LT(with_views.tuples_processed, from_base.tuples_processed);
+}
+
+}  // namespace
+}  // namespace chunkcache::backend

@@ -1,0 +1,580 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "backend/agg_file.h"
+#include "backend/aggregator.h"
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "backend/star_join_query.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace chunkcache::backend {
+namespace {
+
+using chunks::ChunkCoords;
+using chunks::ChunkingOptions;
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+using schema::OrdinalRange;
+using storage::AggTuple;
+using storage::BufferPool;
+using storage::InMemoryDiskManager;
+using storage::Tuple;
+
+/// Shared environment: paper schema, 20k synthetic tuples, a chunked file,
+/// and an engine with bitmap indexes.
+class BackendFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 20000;
+
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    ChunkingOptions opts;
+    opts.range_fraction = 0.2;
+    auto scheme = ChunkingScheme::Build(schema_.get(), opts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<ChunkingScheme>(std::move(scheme).value());
+
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 17;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+
+    pool_ = std::make_unique<BufferPool>(&disk_, 4096);
+    auto file = ChunkedFile::BulkLoad(pool_.get(), scheme_.get(), tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<BackendEngine>(pool_.get(), file_.get(),
+                                              scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  /// Brute-force evaluation of a star-join query over the in-memory tuples.
+  std::vector<AggTuple> Naive(const StarJoinQuery& q) const {
+    std::map<std::vector<uint32_t>, AggTuple> cells;
+    for (const Tuple& t : tuples_) {
+      bool pass = true;
+      std::vector<uint32_t> coords(schema_->num_dims());
+      for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+        const auto& h = schema_->dimension(d).hierarchy;
+        coords[d] = h.AncestorAt(h.depth(), t.keys[d], q.group_by.levels[d]);
+        if (!q.selection[d].Contains(coords[d])) pass = false;
+      }
+      for (const auto& p : q.non_group_by) {
+        const auto& h = schema_->dimension(p.dim).hierarchy;
+        const uint32_t v = h.AncestorAt(h.depth(), t.keys[p.dim], p.level);
+        if (!p.range.Contains(v)) pass = false;
+      }
+      if (!pass) continue;
+      AggTuple& cell = cells[coords];
+      for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+        cell.coords[d] = coords[d];
+      }
+      cell.sum += t.measure;
+      cell.count += 1;
+    }
+    std::vector<AggTuple> rows;
+    for (auto& [k, v] : cells) rows.push_back(v);
+    return rows;
+  }
+
+  static void ExpectRowsEqual(const std::vector<AggTuple>& got,
+                              const std::vector<AggTuple>& want,
+                              uint32_t num_dims) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      for (uint32_t d = 0; d < num_dims; ++d) {
+        ASSERT_EQ(got[i].coords[d], want[i].coords[d]) << "row " << i;
+      }
+      EXPECT_NEAR(got[i].sum, want[i].sum, 1e-6) << "row " << i;
+      EXPECT_EQ(got[i].count, want[i].count) << "row " << i;
+    }
+  }
+
+  /// Full selection on every dimension at the given group-by.
+  StarJoinQuery FullQuery(const GroupBySpec& gb) const {
+    StarJoinQuery q;
+    q.group_by = gb;
+    for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+      const auto& h = schema_->dimension(d).hierarchy;
+      q.selection[d] =
+          OrdinalRange{0, h.LevelCardinality(gb.levels[d]) - 1};
+    }
+    return q;
+  }
+
+  InMemoryDiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<ChunkingScheme> scheme_;
+  std::vector<Tuple> tuples_;
+  std::unique_ptr<ChunkedFile> file_;
+  std::unique_ptr<BackendEngine> engine_;
+};
+
+// ------------------------------- ChunkedFile --------------------------------
+
+TEST_F(BackendFixture, ChunkRunsCoverAllTuplesDisjointly) {
+  const GroupBySpec base = scheme_->BaseSpec();
+  const auto& grid = scheme_->GridFor(base);
+  uint64_t total = 0;
+  storage::RowId expected_start = 0;
+  for (uint64_t c = 0; c < grid.num_chunks(); ++c) {
+    auto run = file_->ChunkRun(c);
+    if (!run.ok()) {
+      EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+      continue;
+    }
+    // Clustered: runs are laid out back to back in chunk order.
+    EXPECT_EQ(run->first, expected_start);
+    expected_start = run->first + run->second;
+    total += run->second;
+  }
+  EXPECT_EQ(total, kTuples);
+}
+
+TEST_F(BackendFixture, ScanChunkYieldsOnlyThatChunksTuples) {
+  const GroupBySpec base = scheme_->BaseSpec();
+  const auto& grid = scheme_->GridFor(base);
+  // Pick a handful of chunks spread over the grid.
+  for (uint64_t c = 0; c < grid.num_chunks(); c += grid.num_chunks() / 7) {
+    auto extent = scheme_->ChunkExtent(base, c);
+    uint64_t visited = 0;
+    ASSERT_TRUE(file_->ScanChunk(c, [&](const Tuple& t) {
+                      for (uint32_t d = 0; d < 4; ++d) {
+                        EXPECT_TRUE(extent[d].Contains(t.keys[d]));
+                      }
+                      ++visited;
+                      return true;
+                    })
+                    .ok());
+    auto run = file_->ChunkRun(c);
+    if (run.ok()) {
+      EXPECT_EQ(visited, run->second);
+    } else {
+      EXPECT_EQ(visited, 0u);
+    }
+  }
+}
+
+TEST_F(BackendFixture, ChunkScanCostProportionalToChunk) {
+  // Reading one chunk must touch far fewer pages than the whole file.
+  ASSERT_TRUE(pool_->EvictAll().ok());
+  const auto before = disk_.stats();
+  ASSERT_TRUE(file_->ScanChunk(0, [](const Tuple&) { return true; }).ok());
+  const uint64_t chunk_pages = disk_.stats().reads - before.reads;
+  EXPECT_LT(chunk_pages, file_->fact_file().num_data_pages() / 4);
+}
+
+TEST(ChunkedFileUnclustered, ChunkInterfaceUnsupported) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 256);
+  auto s = schema::BuildPaperSchema();
+  ASSERT_TRUE(s.ok());
+  auto schema = std::make_unique<schema::StarSchema>(std::move(s).value());
+  auto scheme = ChunkingScheme::Build(schema.get(), ChunkingOptions{}, 1000);
+  ASSERT_TRUE(scheme.ok());
+  schema::FactGenOptions gen;
+  gen.num_tuples = 1000;
+  auto tuples = schema::GenerateFactTuples(*schema, gen);
+  auto file = ChunkedFile::BulkLoad(&pool, &*scheme, tuples,
+                                    /*clustered=*/false);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(file->clustered());
+  EXPECT_EQ(file->ChunkRun(0).status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(
+      file->ScanChunk(0, [](const Tuple&) { return true; }).code(),
+      StatusCode::kUnsupported);
+  // The relational interface still works.
+  uint64_t n = 0;
+  ASSERT_TRUE(file->Scan([&](storage::RowId, const Tuple&) {
+                    ++n;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(n, 1000u);
+}
+
+// -------------------------------- Aggregator --------------------------------
+
+TEST_F(BackendFixture, HashAggregatorMatchesNaive) {
+  GroupBySpec gb{{1, 1, 1, 1}, 4};
+  HashAggregator agg(scheme_.get(), gb);
+  for (const Tuple& t : tuples_) agg.AddBase(t);
+  EXPECT_EQ(agg.rows_consumed(), kTuples);
+  auto rows = agg.TakeRows();
+  SortRows(&rows, 4);
+  ExpectRowsEqual(rows, Naive(FullQuery(gb)), 4);
+}
+
+TEST_F(BackendFixture, MinMaxAggregatesMatchNaive) {
+  GroupBySpec gb{{1, 0, 1, 0}, 4};
+  HashAggregator agg(scheme_.get(), gb);
+  for (const Tuple& t : tuples_) agg.AddBase(t);
+  auto rows = agg.TakeRows();
+  SortRows(&rows, 4);
+  // Naive min/max per cell.
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<double, double>> ref;
+  for (const Tuple& t : tuples_) {
+    const auto& h0 = schema_->dimension(0).hierarchy;
+    const auto& h2 = schema_->dimension(2).hierarchy;
+    const auto key = std::make_pair(h0.AncestorAt(3, t.keys[0], 1),
+                                    h2.AncestorAt(3, t.keys[2], 1));
+    auto it = ref.find(key);
+    if (it == ref.end()) {
+      ref[key] = {t.measure, t.measure};
+    } else {
+      it->second.first = std::min(it->second.first, t.measure);
+      it->second.second = std::max(it->second.second, t.measure);
+    }
+  }
+  ASSERT_EQ(rows.size(), ref.size());
+  for (const auto& r : rows) {
+    const auto& [want_min, want_max] =
+        ref.at(std::make_pair(r.coords[0], r.coords[2]));
+    EXPECT_DOUBLE_EQ(r.min_v, want_min);
+    EXPECT_DOUBLE_EQ(r.max_v, want_max);
+    EXPECT_NEAR(r.Avg(), r.sum / r.count, 1e-12);
+  }
+}
+
+TEST_F(BackendFixture, MinMaxSurviveReAggregation) {
+  // min of mins == direct min (closure property for MIN/MAX).
+  GroupBySpec mid{{2, 1, 2, 1}, 4};
+  GroupBySpec coarse{{1, 0, 1, 0}, 4};
+  HashAggregator to_mid(scheme_.get(), mid);
+  for (const Tuple& t : tuples_) to_mid.AddBase(t);
+  auto mid_rows = to_mid.TakeRows();
+  HashAggregator via_mid(scheme_.get(), coarse);
+  for (const AggTuple& r : mid_rows) via_mid.AddAgg(r, mid);
+  auto indirect = via_mid.TakeRows();
+  SortRows(&indirect, 4);
+
+  HashAggregator direct_agg(scheme_.get(), coarse);
+  for (const Tuple& t : tuples_) direct_agg.AddBase(t);
+  auto direct = direct_agg.TakeRows();
+  SortRows(&direct, 4);
+
+  ASSERT_EQ(direct.size(), indirect.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct[i].min_v, indirect[i].min_v) << "row " << i;
+    EXPECT_DOUBLE_EQ(direct[i].max_v, indirect[i].max_v) << "row " << i;
+  }
+}
+
+TEST_F(BackendFixture, ReAggregationMatchesDirect) {
+  // base -> mid, then mid -> coarse must equal base -> coarse.
+  GroupBySpec mid{{2, 1, 2, 1}, 4};
+  GroupBySpec coarse{{1, 0, 1, 1}, 4};
+  HashAggregator to_mid(scheme_.get(), mid);
+  for (const Tuple& t : tuples_) to_mid.AddBase(t);
+  auto mid_rows = to_mid.TakeRows();
+
+  HashAggregator via_mid(scheme_.get(), coarse);
+  for (const AggTuple& r : mid_rows) via_mid.AddAgg(r, mid);
+  auto rows = via_mid.TakeRows();
+  SortRows(&rows, 4);
+  ExpectRowsEqual(rows, Naive(FullQuery(coarse)), 4);
+}
+
+TEST(AggregatorHelpers, FilterAndSort) {
+  std::vector<AggTuple> rows(3);
+  rows[0].coords = {5, 1};
+  rows[1].coords = {2, 9};
+  rows[2].coords = {2, 3};
+  std::array<OrdinalRange, storage::kMaxDims> sel{};
+  sel[0] = OrdinalRange{0, 4};
+  sel[1] = OrdinalRange{0, 5};
+  auto kept = FilterRows(rows, 2, sel);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].coords[0], 2u);
+  EXPECT_EQ(kept[0].coords[1], 3u);
+
+  SortRows(&rows, 2);
+  EXPECT_EQ(rows[0].coords[1], 3u);
+  EXPECT_EQ(rows[1].coords[1], 9u);
+  EXPECT_EQ(rows[2].coords[0], 5u);
+}
+
+// --------------------------------- AggFile ----------------------------------
+
+TEST(AggFileTest, AppendGetScanRoundTrip) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 64);
+  auto file = AggFile::Create(&pool, 4);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->rows_per_page(), storage::kPageSize / (4 * 4 + 32));
+  for (uint32_t i = 0; i < 1000; ++i) {
+    AggTuple row;
+    row.coords = {i, i + 1, i + 2, i + 3};
+    row.sum = i * 1.5;
+    row.count = i;
+    row.min_v = -static_cast<double>(i);
+    row.max_v = i * 2.0;
+    auto rid = file->Append(row);
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(*rid, i);
+  }
+  AggTuple row;
+  ASSERT_TRUE(file->Get(500, &row).ok());
+  EXPECT_EQ(row.coords[3], 503u);
+  EXPECT_DOUBLE_EQ(row.sum, 750.0);
+  EXPECT_DOUBLE_EQ(row.min_v, -500.0);
+  EXPECT_DOUBLE_EQ(row.max_v, 1000.0);
+  EXPECT_EQ(file->Get(1000, &row).code(), StatusCode::kOutOfRange);
+
+  uint64_t visited = 0;
+  ASSERT_TRUE(file->ScanRange(100, 50,
+                              [&](const AggTuple& r) {
+                                EXPECT_EQ(r.coords[0], 100 + visited);
+                                ++visited;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(visited, 50u);
+}
+
+TEST(AggFileTest, ReopenAfterSync) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 64);
+  uint32_t file_id;
+  {
+    auto file = AggFile::Create(&pool, 2);
+    ASSERT_TRUE(file.ok());
+    file_id = file->file_id();
+    AggTuple row;
+    row.coords = {1, 2};
+    row.sum = 3;
+    row.count = 4;
+    ASSERT_TRUE(file->Append(row).ok());
+    ASSERT_TRUE(file->SyncHeader().ok());
+  }
+  auto file = AggFile::Open(&pool, file_id);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->num_rows(), 1u);
+  EXPECT_EQ(file->num_dims(), 2u);
+}
+
+// ---------------------------------- Engine ----------------------------------
+
+TEST_F(BackendFixture, ComputeChunksReconstructsFullGroupBy) {
+  // Computing *all* chunks of a group-by and concatenating them must equal
+  // the naive full aggregation.
+  GroupBySpec gb{{1, 1, 1, 1}, 4};
+  const auto& grid = scheme_->GridFor(gb);
+  std::vector<uint64_t> nums(grid.num_chunks());
+  for (uint64_t i = 0; i < nums.size(); ++i) nums[i] = i;
+  WorkCounters work;
+  auto data = engine_->ComputeChunks(gb, nums, {}, &work);
+  ASSERT_TRUE(data.ok());
+  std::vector<AggTuple> rows;
+  for (const auto& c : *data) {
+    // Every row must lie within its chunk's extent.
+    auto extent = scheme_->ChunkExtent(gb, c.chunk_num);
+    for (const auto& r : c.rows) {
+      for (uint32_t d = 0; d < 4; ++d) {
+        EXPECT_TRUE(extent[d].Contains(r.coords[d]));
+      }
+    }
+    rows.insert(rows.end(), c.rows.begin(), c.rows.end());
+  }
+  SortRows(&rows, 4);
+  ExpectRowsEqual(rows, Naive(FullQuery(gb)), 4);
+  EXPECT_GT(work.tuples_processed, 0u);
+}
+
+TEST_F(BackendFixture, ComputeSingleChunkTouchesFewPages) {
+  GroupBySpec gb{{2, 2, 2, 2}, 4};
+  ASSERT_TRUE(pool_->EvictAll().ok());
+  WorkCounters work;
+  auto data = engine_->ComputeChunks(gb, {3}, {}, &work);
+  ASSERT_TRUE(data.ok());
+  // Cost of a chunk miss is proportional to the chunk, not the table
+  // (Section 4.1 benefit 1).
+  EXPECT_LT(work.pages_read, file_->fact_file().num_data_pages() / 4);
+}
+
+TEST_F(BackendFixture, ExecuteStarJoinMatchesNaiveOnRestrictedQuery) {
+  StarJoinQuery q;
+  q.group_by = GroupBySpec{{2, 1, 2, 1}, 4};
+  q.selection[0] = OrdinalRange{10, 30};  // D0 level2 (50 values)
+  q.selection[1] = OrdinalRange{5, 14};   // D1 level1 (25 values)
+  q.selection[2] = OrdinalRange{2, 20};   // D2 level2 (25 values)
+  q.selection[3] = OrdinalRange{0, 9};    // D3 level1 (10 values) = all
+  WorkCounters work;
+  auto rows = engine_->ExecuteStarJoin(q, &work);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(q), 4);
+}
+
+TEST_F(BackendFixture, BitmapAndScanPathsAgree) {
+  StarJoinQuery q;
+  q.group_by = GroupBySpec{{3, 2, 0, 0}, 4};
+  q.selection[0] = OrdinalRange{12, 19};  // narrow: bitmap path
+  q.selection[1] = OrdinalRange{0, 49};
+  q.selection[2] = OrdinalRange{0, 0};
+  q.selection[3] = OrdinalRange{0, 0};
+  WorkCounters w1, w2;
+  auto via_bitmap = engine_->ExecuteStarJoin(q, &w1);
+  ASSERT_TRUE(via_bitmap.ok());
+  // Force the scan path through a second engine with scan-only options.
+  BackendOptions scan_only;
+  scan_only.bitmap_selectivity_threshold = -1.0;
+  BackendEngine scan_engine(pool_.get(), file_.get(), scheme_.get(),
+                            scan_only);
+  auto via_scan = scan_engine.ExecuteStarJoin(q, &w2);
+  ASSERT_TRUE(via_scan.ok());
+  ExpectRowsEqual(*via_bitmap, *via_scan, 4);
+  ExpectRowsEqual(*via_bitmap, Naive(q), 4);
+}
+
+TEST_F(BackendFixture, NonGroupByPredicateFiltersBeforeAggregation) {
+  StarJoinQuery q;
+  q.group_by = GroupBySpec{{1, 0, 0, 0}, 4};  // by D0 level 1 only
+  q.selection[0] = OrdinalRange{0, 24};
+  q.selection[1] = OrdinalRange{0, 0};
+  q.selection[2] = OrdinalRange{0, 0};
+  q.selection[3] = OrdinalRange{0, 0};
+  // Restrict D2 at its level 2 (not in the group-by).
+  q.non_group_by.push_back(NonGroupByPredicate{2, 2, OrdinalRange{0, 7}});
+  WorkCounters work;
+  auto rows = engine_->ExecuteStarJoin(q, &work);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(q), 4);
+  // And the chunk-computation path honors it too.
+  const auto& grid = scheme_->GridFor(q.group_by);
+  std::vector<uint64_t> nums(grid.num_chunks());
+  for (uint64_t i = 0; i < nums.size(); ++i) nums[i] = i;
+  WorkCounters w2;
+  auto data = engine_->ComputeChunks(q.group_by, nums, q.non_group_by, &w2);
+  ASSERT_TRUE(data.ok());
+  std::vector<AggTuple> all;
+  for (const auto& c : *data) {
+    all.insert(all.end(), c.rows.begin(), c.rows.end());
+  }
+  SortRows(&all, 4);
+  ExpectRowsEqual(all, Naive(q), 4);
+}
+
+TEST_F(BackendFixture, ContradictoryFiltersGiveEmptyResult) {
+  StarJoinQuery q = FullQuery(GroupBySpec{{1, 1, 1, 1}, 4});
+  q.non_group_by.push_back(NonGroupByPredicate{0, 1, OrdinalRange{0, 3}});
+  q.non_group_by.push_back(NonGroupByPredicate{0, 1, OrdinalRange{10, 12}});
+  WorkCounters work;
+  auto rows = engine_->ExecuteStarJoin(q, &work);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(BackendFixture, SelectivityIsProductOfFractions) {
+  StarJoinQuery q = FullQuery(GroupBySpec{{1, 1, 1, 1}, 4});
+  EXPECT_NEAR(engine_->Selectivity(q), 1.0, 1e-12);
+  q.selection[0] = OrdinalRange{0, 4};  // 5 of 25 level-1 members = 20%
+  EXPECT_NEAR(engine_->Selectivity(q), 0.2, 1e-12);
+  q.selection[2] = OrdinalRange{1, 1};  // 1 of 5 = 20%
+  EXPECT_NEAR(engine_->Selectivity(q), 0.04, 1e-12);
+}
+
+TEST_F(BackendFixture, MaterializedAggregateServesCoarserChunks) {
+  // Pick a mid spec dense enough to actually aggregate (1250 cells vs 20k
+  // tuples), so sourcing from it is visibly cheaper than from base.
+  GroupBySpec mid{{1, 0, 1, 1}, 4};
+  ASSERT_TRUE(engine_->MaterializeAggregate(mid).ok());
+  EXPECT_EQ(engine_->MaterializeAggregate(mid).code(),
+            StatusCode::kAlreadyExists);
+  GroupBySpec coarse{{1, 0, 0, 0}, 4};
+  const auto& grid = scheme_->GridFor(coarse);
+  std::vector<uint64_t> nums(grid.num_chunks());
+  for (uint64_t i = 0; i < nums.size(); ++i) nums[i] = i;
+
+  WorkCounters with_mat;
+  auto data = engine_->ComputeChunks(coarse, nums, {}, &with_mat);
+  ASSERT_TRUE(data.ok());
+  std::vector<AggTuple> rows;
+  for (const auto& c : *data) {
+    rows.insert(rows.end(), c.rows.begin(), c.rows.end());
+  }
+  SortRows(&rows, 4);
+  ExpectRowsEqual(rows, Naive(FullQuery(coarse)), 4);
+
+  // The materialized source must process far fewer rows than base would.
+  BackendEngine base_only(pool_.get(), file_.get(), scheme_.get());
+  WorkCounters from_base;
+  auto data2 = base_only.ComputeChunks(coarse, nums, {}, &from_base);
+  ASSERT_TRUE(data2.ok());
+  EXPECT_LT(with_mat.tuples_processed, from_base.tuples_processed / 2);
+}
+
+TEST_F(BackendFixture, UnrestrictedQuerySkipsBitmaps) {
+  // A full-cube query must not read any bitmap pages: the engine takes
+  // the scan path (and even the restricted-dims loop skips full ranges).
+  StarJoinQuery q = FullQuery(GroupBySpec{{1, 1, 1, 1}, 4});
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  ASSERT_TRUE(pool_->EvictAll().ok());
+  disk_.ResetStats();
+  WorkCounters work;
+  auto rows = engine_->ExecuteStarJoin(q, &work);
+  ASSERT_TRUE(rows.ok());
+  // Scan path: exactly the fact file's data pages (+header), no index I/O.
+  EXPECT_LE(work.pages_read,
+            uint64_t{file_->fact_file().num_data_pages()} + 2);
+  EXPECT_EQ(work.tuples_processed, kTuples);
+}
+
+TEST_F(BackendFixture, HighSelectivityFallsBackToScan) {
+  // Selectivity above the threshold must take the scan path even though
+  // the query is restricted: tuples_processed equals the whole table.
+  StarJoinQuery q = FullQuery(GroupBySpec{{1, 1, 1, 1}, 4});
+  q.selection[0] = OrdinalRange{0, 19};  // 80% of D0 level 1
+  ASSERT_GT(engine_->Selectivity(q), 0.25);
+  WorkCounters work;
+  auto rows = engine_->ExecuteStarJoin(q, &work);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(work.tuples_processed, kTuples);  // full scan visited all
+
+  // Just under the threshold: bitmap path touches only matching tuples.
+  StarJoinQuery narrow = FullQuery(GroupBySpec{{1, 1, 1, 1}, 4});
+  narrow.selection[0] = OrdinalRange{0, 3};  // 16%
+  ASSERT_LT(engine_->Selectivity(narrow), 0.25);
+  WorkCounters w2;
+  auto rows2 = engine_->ExecuteStarJoin(narrow, &w2);
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_LT(w2.tuples_processed, kTuples / 2);
+}
+
+TEST_F(BackendFixture, ComputeChunksEmptyListAndEmptyChunk) {
+  GroupBySpec gb{{3, 2, 3, 2}, 4};  // base level: sparse -> empty chunks
+  WorkCounters work;
+  auto none = engine_->ComputeChunks(gb, {}, {}, &work);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // Find an empty chunk (base grid has far more chunks than tuples at
+  // this scale) and ask for it: the result is an empty row set, not an
+  // error.
+  const auto& grid = scheme_->GridFor(gb);
+  for (uint64_t c = 0; c < grid.num_chunks(); ++c) {
+    if (!file_->ChunkRun(c).ok()) {
+      auto data = engine_->ComputeChunks(gb, {c}, {}, &work);
+      ASSERT_TRUE(data.ok());
+      ASSERT_EQ(data->size(), 1u);
+      EXPECT_TRUE((*data)[0].rows.empty());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no empty base chunk at this scale";
+}
+
+TEST_F(BackendFixture, MaterializeRejectsInvalidSpec) {
+  GroupBySpec bogus{{7, 1, 1, 1}, 4};  // level 7 beyond D0's depth
+  EXPECT_FALSE(engine_->MaterializeAggregate(bogus).ok());
+}
+
+}  // namespace
+}  // namespace chunkcache::backend

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "index/bitmap.h"
+#include "index/bitmap_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fact_file.h"
+
+namespace chunkcache::index {
+namespace {
+
+using storage::BufferPool;
+using storage::FactFile;
+using storage::InMemoryDiskManager;
+using storage::Tuple;
+using storage::TupleDesc;
+
+// --------------------------------- Bitmap -----------------------------------
+
+TEST(BitmapTest, SetGetClearCount) {
+  Bitmap b(130);
+  EXPECT_EQ(b.CountSet(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.CountSet(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Get(64));
+  EXPECT_EQ(b.CountSet(), 2u);
+}
+
+TEST(BitmapTest, AndOr) {
+  Bitmap a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(2);
+  Bitmap both = a;
+  both.And(b);
+  EXPECT_EQ(both.CountSet(), 2u);
+  EXPECT_TRUE(both.Get(50));
+  EXPECT_TRUE(both.Get(99));
+  Bitmap either = a;
+  either.Or(b);
+  EXPECT_EQ(either.CountSet(), 4u);
+}
+
+TEST(BitmapTest, NotRespectsTailBits) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Not();
+  EXPECT_FALSE(b.Get(0));
+  EXPECT_EQ(b.CountSet(), 69u);  // tail bits beyond 70 must stay clear
+}
+
+TEST(BitmapTest, SetAllAndToVector) {
+  Bitmap b(67);
+  b.SetAll();
+  EXPECT_EQ(b.CountSet(), 67u);
+  auto v = b.ToVector();
+  ASSERT_EQ(v.size(), 67u);
+  EXPECT_EQ(v.front(), 0u);
+  EXPECT_EQ(v.back(), 66u);
+}
+
+TEST(BitmapTest, ForEachSetAscending) {
+  Bitmap b(200);
+  std::vector<uint64_t> expected = {3, 64, 65, 127, 128, 199};
+  for (auto i : expected) b.Set(i);
+  std::vector<uint64_t> seen;
+  b.ForEachSet([&](uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+// ------------------------------- BitmapIndex --------------------------------
+
+struct IndexFixture {
+  InMemoryDiskManager dm;
+  BufferPool pool{&dm, 512};
+  std::vector<Tuple> rows;
+
+  // Two-dimension fact file; dim 0 has `d0_card` values round-robin, dim 1
+  // random.
+  Result<FactFile> MakeFact(uint32_t n, uint32_t d0_card, uint32_t d1_card) {
+    auto file = FactFile::Create(&pool, TupleDesc{2});
+    if (!file.ok()) return file;
+    Random rng(1);
+    for (uint32_t i = 0; i < n; ++i) {
+      Tuple t;
+      t.keys[0] = i % d0_card;
+      t.keys[1] = static_cast<uint32_t>(rng.Uniform(d1_card));
+      t.measure = i;
+      auto rid = file->Append(t);
+      if (!rid.ok()) return rid.status();
+      rows.push_back(t);
+    }
+    return file;
+  }
+};
+
+TEST(BitmapIndexTest, SingleValueBitmapMatchesData) {
+  IndexFixture f;
+  auto fact = f.MakeFact(5000, 10, 7);
+  ASSERT_TRUE(fact.ok());
+  auto idx = BitmapIndex::Build(&f.pool, &*fact, 0, 10);
+  ASSERT_TRUE(idx.ok());
+  Bitmap b;
+  ASSERT_TRUE(idx->ReadBitmap(3, &b).ok());
+  EXPECT_EQ(b.num_bits(), 5000u);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(b.Get(i), f.rows[i].keys[0] == 3) << "row " << i;
+  }
+}
+
+TEST(BitmapIndexTest, RangeIsUnionOfValues) {
+  IndexFixture f;
+  auto fact = f.MakeFact(3000, 10, 7);
+  ASSERT_TRUE(fact.ok());
+  auto idx = BitmapIndex::Build(&f.pool, &*fact, 0, 10);
+  ASSERT_TRUE(idx.ok());
+  Bitmap range;
+  ASSERT_TRUE(idx->EvaluateRange(2, 5, &range).ok());
+  uint64_t expected = 0;
+  for (const auto& t : f.rows) expected += (t.keys[0] >= 2 && t.keys[0] <= 5);
+  EXPECT_EQ(range.CountSet(), expected);
+}
+
+TEST(BitmapIndexTest, SecondDimensionAndSelection) {
+  IndexFixture f;
+  auto fact = f.MakeFact(4000, 8, 5);
+  ASSERT_TRUE(fact.ok());
+  auto idx0 = BitmapIndex::Build(&f.pool, &*fact, 0, 8);
+  auto idx1 = BitmapIndex::Build(&f.pool, &*fact, 1, 5);
+  ASSERT_TRUE(idx0.ok());
+  ASSERT_TRUE(idx1.ok());
+  Bitmap a, b;
+  ASSERT_TRUE(idx0->EvaluateRange(0, 3, &a).ok());
+  ASSERT_TRUE(idx1->EvaluateRange(2, 2, &b).ok());
+  a.And(b);
+  uint64_t expected = 0;
+  for (const auto& t : f.rows) {
+    expected += (t.keys[0] <= 3 && t.keys[1] == 2);
+  }
+  EXPECT_EQ(a.CountSet(), expected);
+}
+
+TEST(BitmapIndexTest, ErrorsOnBadArguments) {
+  IndexFixture f;
+  auto fact = f.MakeFact(100, 4, 4);
+  ASSERT_TRUE(fact.ok());
+  EXPECT_FALSE(BitmapIndex::Build(&f.pool, &*fact, 9, 4).ok());
+  EXPECT_FALSE(BitmapIndex::Build(&f.pool, &*fact, 0, 0).ok());
+  auto idx = BitmapIndex::Build(&f.pool, &*fact, 0, 4);
+  ASSERT_TRUE(idx.ok());
+  Bitmap b;
+  EXPECT_EQ(idx->ReadBitmap(4, &b).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(idx->EvaluateRange(2, 1, &b).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(idx->EvaluateRange(0, 4, &b).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitmapIndexTest, BuildRejectsOutOfDomainOrdinal) {
+  IndexFixture f;
+  auto fact = f.MakeFact(100, 10, 4);
+  ASSERT_TRUE(fact.ok());
+  // Declare fewer values than the data actually contains.
+  auto idx = BitmapIndex::Build(&f.pool, &*fact, 0, 5);
+  EXPECT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitmapIndexTest, OpenReadsExistingIndex) {
+  IndexFixture f;
+  auto fact = f.MakeFact(2000, 6, 3);
+  ASSERT_TRUE(fact.ok());
+  uint32_t file_id;
+  {
+    auto idx = BitmapIndex::Build(&f.pool, &*fact, 1, 3);
+    ASSERT_TRUE(idx.ok());
+    file_id = idx->file_id();
+  }
+  auto idx = BitmapIndex::Open(&f.pool, file_id, 1);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_values(), 3u);
+  EXPECT_EQ(idx->num_rows(), 2000u);
+  Bitmap b;
+  ASSERT_TRUE(idx->ReadBitmap(0, &b).ok());
+  uint64_t expected = 0;
+  for (const auto& t : f.rows) expected += (t.keys[1] == 0);
+  EXPECT_EQ(b.CountSet(), expected);
+}
+
+TEST(BitmapIndexTest, ReadingBitmapCostsIo) {
+  IndexFixture f;
+  auto fact = f.MakeFact(40000, 4, 4);  // bitmap = 5 KB -> 2 pages per value
+  ASSERT_TRUE(fact.ok());
+  auto idx = BitmapIndex::Build(&f.pool, &*fact, 0, 4);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(f.pool.EvictAll().ok());
+  f.pool.ResetStats();
+  Bitmap b;
+  ASSERT_TRUE(idx->ReadBitmap(0, &b).ok());
+  EXPECT_EQ(f.pool.stats().misses, idx->pages_per_bitmap());
+}
+
+}  // namespace
+}  // namespace chunkcache::index

@@ -1,0 +1,219 @@
+// Property-based sweeps of the chunk machinery over *random* hierarchies
+// and chunk-range sizes (the paper-schema cases live in chunks_test.cc).
+// Invariants checked:
+//   P1  chunk ranges partition every level exactly;
+//   P2  a range at level l maps to a disjoint, contiguous, gap-free set of
+//       ranges at level l+1 whose union is exactly the mapped value set
+//       (the Figure 5/6 requirement);
+//   P3  SpanAtLevel composes (closure property);
+//   P4  grids tile the space: chunk extents are disjoint and cover all
+//       cells; ChunkOfCell is consistent with extents;
+//   P5  SourceBox covers exactly the base cells of its target chunk.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "chunks/chunking_scheme.h"
+#include "common/random.h"
+#include "schema/star_schema.h"
+
+namespace chunkcache::chunks {
+namespace {
+
+using schema::Dimension;
+using schema::Hierarchy;
+using schema::HierarchyBuilder;
+using schema::OrdinalRange;
+using schema::StarSchema;
+
+/// Builds a random hierarchy: `depth` levels, random fanouts (including
+/// fanout-1 parents and uneven fanouts, which stress the alignment code).
+Hierarchy RandomHierarchy(Random& rng, uint32_t depth) {
+  HierarchyBuilder b;
+  uint32_t card = 1 + static_cast<uint32_t>(rng.Uniform(6));
+  b.AddLevel("L1");
+  for (uint32_t i = 0; i < card; ++i) {
+    CHUNKCACHE_CHECK(b.AddMember("1." + std::to_string(i)).ok());
+  }
+  uint32_t prev_card = card;
+  for (uint32_t l = 2; l <= depth; ++l) {
+    b.AddLevel("L" + std::to_string(l));
+    uint32_t child = 0;
+    for (uint32_t p = 0; p < prev_card; ++p) {
+      const uint32_t fanout = 1 + static_cast<uint32_t>(rng.Uniform(5));
+      for (uint32_t c = 0; c < fanout; ++c, ++child) {
+        CHUNKCACHE_CHECK(
+            b.AddMember(std::to_string(l) + "." + std::to_string(child), p)
+                .ok());
+      }
+    }
+    prev_card = child;
+  }
+  auto h = b.Build();
+  CHUNKCACHE_CHECK(h.ok());
+  return std::move(h).value();
+}
+
+class ChunkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkPropertyTest, RangesPartitionAndNest) {
+  Random rng(GetParam() * 1000 + 1);
+  for (int iter = 0; iter < 30; ++iter) {
+    const uint32_t depth = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    const Hierarchy h = RandomHierarchy(rng, depth);
+    ChunkRangeSizes sizes;
+    for (uint32_t l = 1; l <= depth; ++l) {
+      sizes.per_level.push_back(
+          1 + static_cast<uint32_t>(rng.Uniform(h.LevelCardinality(l))));
+    }
+    auto dc = DimensionChunking::Build(h, sizes);
+    ASSERT_TRUE(dc.ok());
+
+    // P1: partition at every level.
+    for (uint32_t l = 1; l <= depth; ++l) {
+      uint32_t next = 0;
+      for (uint32_t i = 0; i < dc->NumRanges(l); ++i) {
+        const OrdinalRange r = dc->Range(l, i);
+        ASSERT_EQ(r.begin, next);
+        ASSERT_LE(r.begin, r.end);
+        next = r.end + 1;
+        for (uint32_t v = r.begin; v <= r.end; ++v) {
+          ASSERT_EQ(dc->RangeOfValue(l, v), i);
+        }
+      }
+      ASSERT_EQ(next, h.LevelCardinality(l));
+    }
+
+    // P2: child spans are contiguous, disjoint, complete, and match the
+    // hierarchy's value mapping.
+    for (uint32_t l = 1; l < depth; ++l) {
+      uint32_t next_child_range = 0;
+      for (uint32_t i = 0; i < dc->NumRanges(l); ++i) {
+        const OrdinalRange span = dc->ChildRangeSpan(l, i);
+        ASSERT_EQ(span.begin, next_child_range);
+        next_child_range = span.end + 1;
+        const OrdinalRange parent = dc->Range(l, i);
+        const OrdinalRange mapped{h.ChildRange(l, parent.begin).begin,
+                                  h.ChildRange(l, parent.end).end};
+        ASSERT_EQ(dc->Range(l + 1, span.begin).begin, mapped.begin);
+        ASSERT_EQ(dc->Range(l + 1, span.end).end, mapped.end);
+      }
+      ASSERT_EQ(next_child_range, dc->NumRanges(l + 1));
+    }
+
+    // P3: SpanAtLevel equals the composition of ChildRangeSpan.
+    for (uint32_t from = 0; from <= depth; ++from) {
+      for (uint32_t to = from; to <= depth; ++to) {
+        for (uint32_t i = 0; i < dc->NumRanges(from); ++i) {
+          OrdinalRange expect{i, i};
+          for (uint32_t l = from; l < to; ++l) {
+            expect = OrdinalRange{dc->ChildRangeSpan(l, expect.begin).begin,
+                                  dc->ChildRangeSpan(l, expect.end).end};
+          }
+          ASSERT_EQ(dc->SpanAtLevel(from, i, to), expect)
+              << "from " << from << " idx " << i << " to " << to;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ChunkPropertyTest, GridsTileAndSourceBoxesCover) {
+  Random rng(GetParam() * 1000 + 2);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Random schema with 2-3 small dimensions, so exhaustive checks stay
+    // cheap.
+    const uint32_t num_dims = 2 + static_cast<uint32_t>(rng.Uniform(2));
+    std::vector<Dimension> dims;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      const uint32_t depth = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      dims.push_back(
+          Dimension{"X" + std::to_string(d), RandomHierarchy(rng, depth)});
+    }
+    auto schema = std::make_unique<StarSchema>("F", std::move(dims), "m");
+    ChunkingOptions opts;
+    opts.range_fraction = 0.2 + rng.NextDouble() * 0.6;
+    auto scheme_or = ChunkingScheme::Build(schema.get(), opts, 1000);
+    ASSERT_TRUE(scheme_or.ok());
+    const ChunkingScheme& scheme = *scheme_or;
+
+    // Pick a random group-by and a random finer source group-by.
+    GroupBySpec target, source;
+    target.num_dims = source.num_dims = num_dims;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      const uint32_t depth = schema->dimension(d).hierarchy.depth();
+      target.levels[d] = static_cast<uint8_t>(rng.Uniform(depth + 1));
+      source.levels[d] = static_cast<uint8_t>(
+          target.levels[d] + rng.Uniform(depth - target.levels[d] + 1));
+    }
+
+    // P4: cells map into chunks whose extents contain them; extents tile.
+    const ChunkGrid& grid = scheme.GridFor(target);
+    uint64_t cells_total = 1;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      cells_total *=
+          schema->dimension(d).hierarchy.LevelCardinality(target.levels[d]);
+    }
+    uint64_t extent_cells = 0;
+    for (uint64_t c = 0; c < grid.num_chunks(); ++c) {
+      auto extent = scheme.ChunkExtent(target, c);
+      uint64_t vol = 1;
+      for (uint32_t d = 0; d < num_dims; ++d) vol *= extent[d].size();
+      extent_cells += vol;
+    }
+    ASSERT_EQ(extent_cells, cells_total);
+    for (int probe = 0; probe < 20; ++probe) {
+      ChunkCoords cell{};
+      for (uint32_t d = 0; d < num_dims; ++d) {
+        cell[d] = static_cast<uint32_t>(rng.Uniform(
+            schema->dimension(d).hierarchy.LevelCardinality(
+                target.levels[d])));
+      }
+      const uint64_t c = scheme.ChunkOfCell(target, cell);
+      auto extent = scheme.ChunkExtent(target, c);
+      for (uint32_t d = 0; d < num_dims; ++d) {
+        ASSERT_TRUE(extent[d].Contains(cell[d]));
+      }
+    }
+
+    // P5: SourceBox covers exactly the target chunk's base cells, and the
+    // source boxes of all chunks tile the source grid.
+    const ChunkGrid& source_grid = scheme.GridFor(source);
+    std::set<uint64_t> source_seen;
+    for (uint64_t c = 0; c < grid.num_chunks(); ++c) {
+      auto box = scheme.SourceBox(target, c, source);
+      ASSERT_TRUE(box.ok());
+      box->ForEach(source_grid, [&](uint64_t num, const ChunkCoords&) {
+        // Disjointness across targets.
+        ASSERT_TRUE(source_seen.insert(num).second)
+            << "source chunk " << num << " claimed twice";
+      });
+      // Extent containment: every source chunk's base extent lies within
+      // the target chunk's base extent.
+      auto target_extent = scheme.ChunkExtent(target, c);
+      box->ForEach(source_grid, [&](uint64_t num, const ChunkCoords&) {
+        auto source_extent = scheme.ChunkExtent(source, num);
+        for (uint32_t d = 0; d < num_dims; ++d) {
+          const auto& h = schema->dimension(d).hierarchy;
+          const OrdinalRange tb =
+              h.BaseRangeOf(target.levels[d], target_extent[d]);
+          const OrdinalRange sb =
+              h.BaseRangeOf(source.levels[d], source_extent[d]);
+          ASSERT_GE(sb.begin, tb.begin);
+          ASSERT_LE(sb.end, tb.end);
+        }
+      });
+    }
+    ASSERT_EQ(source_seen.size(), source_grid.num_chunks());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace chunkcache::chunks

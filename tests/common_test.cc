@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bit_util.h"
+#include "common/cost_model.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace chunkcache {
+namespace {
+
+// --------------------------- Status / Result --------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("chunk 17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "chunk 17");
+  EXPECT_EQ(s.ToString(), "NotFound: chunk 17");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  CHUNKCACHE_ASSIGN_OR_RETURN(int h, Half(x));
+  CHUNKCACHE_ASSIGN_OR_RETURN(int q, Half(h));
+  *out = q;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  Status s = UseMacros(6, &out);  // 6/2=3 is odd at the second step
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------- Random -----------------------------------
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformInBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    int64_t v = r.UniformInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random r(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+// --------------------------------- BitUtil ----------------------------------
+
+TEST(BitUtilTest, WordsForBits) {
+  EXPECT_EQ(bit_util::WordsForBits(0), 0u);
+  EXPECT_EQ(bit_util::WordsForBits(1), 1u);
+  EXPECT_EQ(bit_util::WordsForBits(64), 1u);
+  EXPECT_EQ(bit_util::WordsForBits(65), 2u);
+  EXPECT_EQ(bit_util::WordsForBits(128), 2u);
+}
+
+TEST(BitUtilTest, SetGetClear) {
+  uint64_t words[2] = {0, 0};
+  bit_util::SetBit(words, 0);
+  bit_util::SetBit(words, 63);
+  bit_util::SetBit(words, 64);
+  EXPECT_TRUE(bit_util::GetBit(words, 0));
+  EXPECT_TRUE(bit_util::GetBit(words, 63));
+  EXPECT_TRUE(bit_util::GetBit(words, 64));
+  EXPECT_FALSE(bit_util::GetBit(words, 1));
+  bit_util::ClearBit(words, 63);
+  EXPECT_FALSE(bit_util::GetBit(words, 63));
+  EXPECT_TRUE(bit_util::GetBit(words, 0));
+}
+
+TEST(BitUtilTest, RoundUp) {
+  EXPECT_EQ(bit_util::RoundUp(0, 8), 0u);
+  EXPECT_EQ(bit_util::RoundUp(1, 8), 8u);
+  EXPECT_EQ(bit_util::RoundUp(8, 8), 8u);
+  EXPECT_EQ(bit_util::RoundUp(9, 8), 16u);
+}
+
+// -------------------------------- CostModel ---------------------------------
+
+TEST(CostModelTest, LinearCombination) {
+  CostModel m;
+  m.page_read_ms = 10;
+  m.page_write_ms = 20;
+  m.tuple_cpu_ms = 0.5;
+  EXPECT_DOUBLE_EQ(m.Cost(3, 2, 4), 30 + 40 + 2.0);
+}
+
+TEST(CostModelTest, WorkCountersCompose) {
+  WorkCounters a{10, 5, 100};
+  WorkCounters b{1, 2, 3};
+  a += b;
+  EXPECT_EQ(a.pages_read, 11u);
+  EXPECT_EQ(a.pages_written, 7u);
+  EXPECT_EQ(a.tuples_processed, 103u);
+  WorkCounters d = a - b;
+  EXPECT_EQ(d.pages_read, 10u);
+  EXPECT_EQ(d.pages_written, 5u);
+  EXPECT_EQ(d.tuples_processed, 100u);
+}
+
+}  // namespace
+}  // namespace chunkcache

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "core/chunk_cache_manager.h"
+#include "core/query_cache_manager.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache::core {
+namespace {
+
+using backend::NonGroupByPredicate;
+using backend::ResultRow;
+using backend::StarJoinQuery;
+using chunks::ChunkingOptions;
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+using schema::OrdinalRange;
+using storage::AggTuple;
+using storage::Tuple;
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 20000;
+
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = ChunkingScheme::Build(schema_.get(), copts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<ChunkingScheme>(std::move(scheme).value());
+
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 23;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 4096);
+    auto file = backend::ChunkedFile::BulkLoad(pool_.get(), scheme_.get(),
+                                               tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(pool_.get(),
+                                                       file_.get(),
+                                                       scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  std::vector<AggTuple> Naive(const StarJoinQuery& q) const {
+    std::map<std::vector<uint32_t>, AggTuple> cells;
+    for (const Tuple& t : tuples_) {
+      bool pass = true;
+      std::vector<uint32_t> coords(schema_->num_dims());
+      for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+        const auto& h = schema_->dimension(d).hierarchy;
+        coords[d] = h.AncestorAt(h.depth(), t.keys[d], q.group_by.levels[d]);
+        if (!q.selection[d].Contains(coords[d])) pass = false;
+      }
+      for (const auto& p : q.non_group_by) {
+        const auto& h = schema_->dimension(p.dim).hierarchy;
+        const uint32_t v = h.AncestorAt(h.depth(), t.keys[p.dim], p.level);
+        if (!p.range.Contains(v)) pass = false;
+      }
+      if (!pass) continue;
+      AggTuple& cell = cells[coords];
+      for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+        cell.coords[d] = coords[d];
+      }
+      cell.sum += t.measure;
+      cell.count += 1;
+    }
+    std::vector<AggTuple> rows;
+    for (auto& [k, v] : cells) rows.push_back(v);
+    return rows;
+  }
+
+  static void ExpectRowsEqual(const std::vector<AggTuple>& got,
+                              const std::vector<AggTuple>& want,
+                              uint32_t num_dims) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      for (uint32_t d = 0; d < num_dims; ++d) {
+        ASSERT_EQ(got[i].coords[d], want[i].coords[d]) << "row " << i;
+      }
+      EXPECT_NEAR(got[i].sum, want[i].sum, 1e-6) << "row " << i;
+      EXPECT_EQ(got[i].count, want[i].count) << "row " << i;
+    }
+  }
+
+  /// A query whose selection is deliberately misaligned with chunk
+  /// boundaries, so boundary post-filtering is exercised.
+  StarJoinQuery MisalignedQuery() const {
+    StarJoinQuery q;
+    q.group_by = GroupBySpec{{2, 1, 2, 1}, 4};
+    q.selection[0] = OrdinalRange{7, 33};  // D0 level2: 50 values
+    q.selection[1] = OrdinalRange{3, 11};  // D1 level1: 25 values
+    q.selection[2] = OrdinalRange{1, 17};  // D2 level2: 25 values
+    q.selection[3] = OrdinalRange{2, 7};   // D3 level1: 10 values
+    return q;
+  }
+
+  ChunkCacheManager MakeChunkManager(ChunkManagerOptions opts = {}) {
+    return ChunkCacheManager(engine_.get(), opts);
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<ChunkingScheme> scheme_;
+  std::vector<Tuple> tuples_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+// ----------------------------- ChunkCacheManager ----------------------------
+
+TEST_F(CoreFixture, ChunkManagerAnswersCorrectly) {
+  ChunkCacheManager mgr = MakeChunkManager();
+  const StarJoinQuery q = MisalignedQuery();
+  QueryStats stats;
+  auto rows = mgr.Execute(q, &stats);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(q), 4);
+  EXPECT_GT(stats.chunks_needed, 0u);
+  EXPECT_EQ(stats.chunks_from_cache, 0u);
+  EXPECT_EQ(stats.chunks_from_backend, stats.chunks_needed);
+  EXPECT_FALSE(stats.full_cache_hit);
+  EXPECT_DOUBLE_EQ(stats.saved_fraction, 0.0);
+}
+
+TEST_F(CoreFixture, RepeatQueryIsFullCacheHit) {
+  ChunkCacheManager mgr = MakeChunkManager();
+  const StarJoinQuery q = MisalignedQuery();
+  QueryStats s1, s2;
+  auto r1 = mgr.Execute(q, &s1);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = mgr.Execute(q, &s2);
+  ASSERT_TRUE(r2.ok());
+  ExpectRowsEqual(*r2, *r1, 4);
+  EXPECT_TRUE(s2.full_cache_hit);
+  EXPECT_EQ(s2.chunks_from_cache, s2.chunks_needed);
+  EXPECT_EQ(s2.backend_work.pages_read, 0u);
+  EXPECT_EQ(s2.backend_work.tuples_processed, 0u);
+  EXPECT_DOUBLE_EQ(s2.saved_fraction, 1.0);
+}
+
+TEST_F(CoreFixture, OverlappingQueryReusesSharedChunks) {
+  // The paper's Q1/Q3 motivating scenario: overlap without containment.
+  ChunkCacheManager mgr = MakeChunkManager();
+  StarJoinQuery q1 = MisalignedQuery();
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(q1, &s1).ok());
+
+  StarJoinQuery q3 = q1;
+  q3.selection[0] = OrdinalRange{20, 45};  // shifted: overlaps q1's [7,33]
+  QueryStats s3;
+  auto rows = mgr.Execute(q3, &s3);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(q3), 4);
+  EXPECT_GT(s3.chunks_from_cache, 0u);                    // partial reuse
+  EXPECT_GT(s3.chunks_from_backend, 0u);                  // and partial miss
+  EXPECT_LT(s3.chunks_from_backend, s3.chunks_needed);
+  EXPECT_GT(s3.saved_fraction, 0.0);
+  EXPECT_LT(s3.saved_fraction, 1.0);
+}
+
+TEST_F(CoreFixture, DifferentNonGroupByFiltersDoNotMix) {
+  ChunkCacheManager mgr = MakeChunkManager();
+  StarJoinQuery plain = MisalignedQuery();
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(plain, &s1).ok());
+
+  StarJoinQuery filtered = plain;
+  filtered.non_group_by.push_back(
+      NonGroupByPredicate{0, 3, OrdinalRange{0, 49}});
+  QueryStats s2;
+  auto rows = mgr.Execute(filtered, &s2);
+  ASSERT_TRUE(rows.ok());
+  // Must NOT reuse the unfiltered chunks (condition 3 of Section 5.2.1).
+  EXPECT_EQ(s2.chunks_from_cache, 0u);
+  ExpectRowsEqual(*rows, Naive(filtered), 4);
+
+  // But a repeat of the filtered query hits its own entries.
+  QueryStats s3;
+  ASSERT_TRUE(mgr.Execute(filtered, &s3).ok());
+  EXPECT_TRUE(s3.full_cache_hit);
+}
+
+TEST_F(CoreFixture, FilterHashDistinguishesPredicates) {
+  EXPECT_EQ(ChunkCacheManager::FilterHash({}), 0u);
+  std::vector<NonGroupByPredicate> a = {{0, 1, OrdinalRange{0, 3}}};
+  std::vector<NonGroupByPredicate> b = {{0, 1, OrdinalRange{0, 4}}};
+  std::vector<NonGroupByPredicate> c = {{1, 1, OrdinalRange{0, 3}}};
+  EXPECT_NE(ChunkCacheManager::FilterHash(a), 0u);
+  EXPECT_NE(ChunkCacheManager::FilterHash(a), ChunkCacheManager::FilterHash(b));
+  EXPECT_NE(ChunkCacheManager::FilterHash(a), ChunkCacheManager::FilterHash(c));
+  // Order-insensitive.
+  std::vector<NonGroupByPredicate> ab = {a[0], b[0]};
+  std::vector<NonGroupByPredicate> ba = {b[0], a[0]};
+  EXPECT_EQ(ChunkCacheManager::FilterHash(ab),
+            ChunkCacheManager::FilterHash(ba));
+}
+
+TEST_F(CoreFixture, CsrAccumulatorTracksSavings) {
+  ChunkCacheManager mgr = MakeChunkManager();
+  CsrAccumulator csr;
+  const StarJoinQuery q = MisalignedQuery();
+  QueryStats s;
+  ASSERT_TRUE(mgr.Execute(q, &s).ok());
+  csr.Record(s);
+  EXPECT_DOUBLE_EQ(csr.Csr(), 0.0);  // cold cache: nothing saved
+  ASSERT_TRUE(mgr.Execute(q, &s).ok());
+  csr.Record(s);
+  EXPECT_DOUBLE_EQ(csr.Csr(), 0.5);  // second run fully saved
+}
+
+TEST_F(CoreFixture, TinyCacheStillAnswersCorrectly) {
+  ChunkManagerOptions opts;
+  opts.cache_bytes = 4096;  // pathologically small
+  ChunkCacheManager mgr = MakeChunkManager(opts);
+  const StarJoinQuery q = MisalignedQuery();
+  QueryStats s;
+  auto rows = mgr.Execute(q, &s);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(q), 4);
+}
+
+TEST_F(CoreFixture, InCacheAggregationAnswersCoarseFromFine) {
+  ChunkManagerOptions opts;
+  opts.enable_in_cache_aggregation = true;
+  ChunkCacheManager mgr = MakeChunkManager(opts);
+
+  // Warm the cache with the FULL fine-level group-by.
+  StarJoinQuery fine;
+  fine.group_by = GroupBySpec{{1, 1, 1, 1}, 4};
+  for (uint32_t d = 0; d < 4; ++d) {
+    const auto& h = schema_->dimension(d).hierarchy;
+    fine.selection[d] = OrdinalRange{0, h.LevelCardinality(1) - 1};
+  }
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(fine, &s1).ok());
+
+  // A coarser query must now be computable without the backend.
+  StarJoinQuery coarse;
+  coarse.group_by = GroupBySpec{{1, 0, 1, 0}, 4};
+  coarse.selection[0] = OrdinalRange{0, 24};
+  coarse.selection[1] = OrdinalRange{0, 0};
+  coarse.selection[2] = OrdinalRange{0, 4};
+  coarse.selection[3] = OrdinalRange{0, 0};
+  QueryStats s2;
+  auto rows = mgr.Execute(coarse, &s2);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(coarse), 4);
+  EXPECT_EQ(s2.chunks_from_backend, 0u);
+  EXPECT_GT(s2.chunks_from_aggregation, 0u);
+  EXPECT_EQ(s2.backend_work.pages_read, 0u);
+  EXPECT_TRUE(s2.full_cache_hit);
+
+  // The derived chunks were admitted: repeating the coarse query is a
+  // plain cache hit, no aggregation work.
+  QueryStats s3;
+  ASSERT_TRUE(mgr.Execute(coarse, &s3).ok());
+  EXPECT_EQ(s3.chunks_from_aggregation, 0u);
+  EXPECT_EQ(s3.chunks_from_cache, s3.chunks_needed);
+}
+
+TEST_F(CoreFixture, InCacheAggregationDisabledGoesToBackend) {
+  ChunkCacheManager mgr = MakeChunkManager();  // extension off
+  StarJoinQuery fine;
+  fine.group_by = GroupBySpec{{1, 1, 1, 1}, 4};
+  for (uint32_t d = 0; d < 4; ++d) {
+    const auto& h = schema_->dimension(d).hierarchy;
+    fine.selection[d] = OrdinalRange{0, h.LevelCardinality(1) - 1};
+  }
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(fine, &s1).ok());
+  StarJoinQuery coarse;
+  coarse.group_by = GroupBySpec{{1, 0, 1, 0}, 4};
+  coarse.selection[0] = OrdinalRange{0, 24};
+  coarse.selection[1] = OrdinalRange{0, 0};
+  coarse.selection[2] = OrdinalRange{0, 4};
+  coarse.selection[3] = OrdinalRange{0, 0};
+  QueryStats s2;
+  ASSERT_TRUE(mgr.Execute(coarse, &s2).ok());
+  EXPECT_GT(s2.chunks_from_backend, 0u);
+  EXPECT_EQ(s2.chunks_from_aggregation, 0u);
+}
+
+TEST_F(CoreFixture, DrillDownPrefetchWarmsFinerLevel) {
+  ChunkManagerOptions opts;
+  opts.enable_drill_down_prefetch = true;
+  opts.prefetch_budget_chunks = 1000;
+  ChunkCacheManager mgr = MakeChunkManager(opts);
+
+  StarJoinQuery coarse;
+  coarse.group_by = GroupBySpec{{1, 1, 1, 1}, 4};
+  coarse.selection[0] = OrdinalRange{0, 4};
+  coarse.selection[1] = OrdinalRange{0, 4};
+  coarse.selection[2] = OrdinalRange{0, 1};
+  coarse.selection[3] = OrdinalRange{0, 1};
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(coarse, &s1).ok());
+  EXPECT_GT(s1.prefetched_chunks, 0u);
+  EXPECT_GT(s1.prefetch_work.tuples_processed, 0u);
+
+  // Drill down: same region one level finer on every dimension.
+  StarJoinQuery drill;
+  drill.group_by = GroupBySpec{{2, 2, 2, 2}, 4};
+  for (uint32_t d = 0; d < 4; ++d) {
+    const auto& h = schema_->dimension(d).hierarchy;
+    drill.selection[d] =
+        OrdinalRange{h.ChildRange(1, coarse.selection[d].begin).begin,
+                     h.ChildRange(1, coarse.selection[d].end).end};
+  }
+  QueryStats s2;
+  auto rows = mgr.Execute(drill, &s2);
+  ASSERT_TRUE(rows.ok());
+  ExpectRowsEqual(*rows, Naive(drill), 4);
+  EXPECT_GT(s2.chunks_from_cache, 0u);  // prefetch paid off
+}
+
+TEST_F(CoreFixture, ModeledMsReflectsForegroundWorkOnly) {
+  ChunkManagerOptions opts;
+  opts.enable_drill_down_prefetch = true;
+  opts.prefetch_budget_chunks = 256;
+  CostModel cm;
+  cm.page_read_ms = 7.0;
+  cm.tuple_cpu_ms = 0.002;
+  opts.cost_model = cm;
+  ChunkCacheManager mgr = MakeChunkManager(opts);
+  StarJoinQuery q;
+  q.group_by = GroupBySpec{{1, 1, 1, 1}, 4};
+  q.selection[0] = OrdinalRange{0, 9};
+  q.selection[1] = OrdinalRange{0, 9};
+  q.selection[2] = OrdinalRange{0, 2};
+  q.selection[3] = OrdinalRange{0, 3};
+  QueryStats s;
+  ASSERT_TRUE(mgr.Execute(q, &s).ok());
+  EXPECT_DOUBLE_EQ(s.modeled_ms,
+                   cm.Cost(s.backend_work.pages_read,
+                           s.backend_work.pages_written,
+                           s.backend_work.tuples_processed));
+  // Prefetch work happened but is tracked separately.
+  EXPECT_GT(s.prefetched_chunks, 0u);
+  EXPECT_GT(s.prefetch_work.tuples_processed, 0u);
+}
+
+TEST_F(CoreFixture, StatsAccountingInvariantsUnderBothExtensions) {
+  ChunkManagerOptions opts;
+  opts.enable_in_cache_aggregation = true;
+  opts.enable_drill_down_prefetch = true;
+  ChunkCacheManager mgr = MakeChunkManager(opts);
+  workload::QueryGenerator gen(schema_.get(),
+                               workload::ProximityStream(321));
+  for (int i = 0; i < 60; ++i) {
+    QueryStats s;
+    ASSERT_TRUE(mgr.Execute(gen.Next(), &s).ok());
+    EXPECT_EQ(s.chunks_from_cache + s.chunks_from_aggregation +
+                  s.chunks_from_backend,
+              s.chunks_needed)
+        << "query " << i;
+    EXPECT_GE(s.saved_fraction, 0.0);
+    EXPECT_LE(s.saved_fraction, 1.0);
+    EXPECT_EQ(s.full_cache_hit, s.chunks_from_backend == 0);
+    EXPECT_GE(s.cost_estimate, 0.0);
+  }
+  EXPECT_LE(mgr.chunk_cache().bytes_used(),
+            mgr.chunk_cache().capacity_bytes());
+}
+
+// ----------------------------- QueryCacheManager ----------------------------
+
+TEST_F(CoreFixture, QueryManagerAnswersAndHitsOnRepeat) {
+  QueryCacheManager mgr(engine_.get(), QueryManagerOptions{});
+  const StarJoinQuery q = MisalignedQuery();
+  QueryStats s1, s2;
+  auto r1 = mgr.Execute(q, &s1);
+  ASSERT_TRUE(r1.ok());
+  ExpectRowsEqual(*r1, Naive(q), 4);
+  EXPECT_FALSE(s1.full_cache_hit);
+  EXPECT_GT(s1.backend_work.tuples_processed, 0u);
+
+  auto r2 = mgr.Execute(q, &s2);
+  ASSERT_TRUE(r2.ok());
+  ExpectRowsEqual(*r2, *r1, 4);
+  EXPECT_TRUE(s2.full_cache_hit);
+  EXPECT_EQ(s2.backend_work.pages_read, 0u);
+  EXPECT_DOUBLE_EQ(s2.saved_fraction, 1.0);
+}
+
+TEST_F(CoreFixture, QueryManagerHitsOnContainedQuery) {
+  QueryCacheManager mgr(engine_.get(), QueryManagerOptions{});
+  StarJoinQuery big = MisalignedQuery();
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(big, &s1).ok());
+
+  StarJoinQuery small = big;
+  small.selection[0] = OrdinalRange{10, 20};  // inside big's [7,33]
+  QueryStats s2;
+  auto rows = mgr.Execute(small, &s2);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(s2.full_cache_hit);
+  ExpectRowsEqual(*rows, Naive(small), 4);
+}
+
+TEST_F(CoreFixture, QueryManagerMissesOnOverlap) {
+  // The chunk scheme's key advantage: query caching cannot reuse overlap.
+  QueryCacheManager mgr(engine_.get(), QueryManagerOptions{});
+  StarJoinQuery q1 = MisalignedQuery();
+  QueryStats s1;
+  ASSERT_TRUE(mgr.Execute(q1, &s1).ok());
+  StarJoinQuery q3 = q1;
+  q3.selection[0] = OrdinalRange{20, 45};
+  QueryStats s3;
+  auto rows = mgr.Execute(q3, &s3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(s3.full_cache_hit);
+  EXPECT_DOUBLE_EQ(s3.saved_fraction, 0.0);
+  EXPECT_GT(s3.backend_work.tuples_processed, 0u);
+  ExpectRowsEqual(*rows, Naive(q3), 4);
+}
+
+// ------------------------------- NoCacheManager -----------------------------
+
+TEST_F(CoreFixture, NoCacheAlwaysGoesToBackend) {
+  NoCacheManager mgr(engine_.get());
+  const StarJoinQuery q = MisalignedQuery();
+  for (int i = 0; i < 2; ++i) {
+    QueryStats s;
+    auto rows = mgr.Execute(q, &s);
+    ASSERT_TRUE(rows.ok());
+    ExpectRowsEqual(*rows, Naive(q), 4);
+    EXPECT_FALSE(s.full_cache_hit);
+    EXPECT_DOUBLE_EQ(s.saved_fraction, 0.0);
+    EXPECT_GT(s.backend_work.tuples_processed, 0u);
+  }
+}
+
+TEST_F(CoreFixture, EstimateColdCostMatchesChunkCount) {
+  const StarJoinQuery q = MisalignedQuery();
+  uint64_t needed = 0;
+  const double cost = EstimateColdCost(*scheme_, q, &needed);
+  EXPECT_GT(needed, 0u);
+  EXPECT_DOUBLE_EQ(cost,
+                   needed * scheme_->ChunkBenefit(q.group_by));
+}
+
+// Managers must agree with each other on every query shape.
+class ManagerAgreementTest
+    : public CoreFixture,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(ManagerAgreementTest, AllManagersReturnIdenticalRows) {
+  const int variant = GetParam();
+  StarJoinQuery q;
+  switch (variant) {
+    case 0:
+      q = MisalignedQuery();
+      break;
+    case 1:  // highly aggregated
+      q.group_by = GroupBySpec{{1, 0, 0, 0}, 4};
+      q.selection[0] = OrdinalRange{3, 18};
+      q.selection[1] = OrdinalRange{0, 0};
+      q.selection[2] = OrdinalRange{0, 0};
+      q.selection[3] = OrdinalRange{0, 0};
+      break;
+    case 2:  // base level, narrow
+      q.group_by = GroupBySpec{{3, 2, 3, 2}, 4};
+      q.selection[0] = OrdinalRange{10, 25};
+      q.selection[1] = OrdinalRange{5, 12};
+      q.selection[2] = OrdinalRange{30, 44};
+      q.selection[3] = OrdinalRange{17, 29};
+      break;
+    case 3:  // full cube at mid level
+      q.group_by = GroupBySpec{{2, 1, 2, 1}, 4};
+      q.selection[0] = OrdinalRange{0, 49};
+      q.selection[1] = OrdinalRange{0, 24};
+      q.selection[2] = OrdinalRange{0, 24};
+      q.selection[3] = OrdinalRange{0, 9};
+      break;
+    case 4:  // with a non-group-by predicate
+      q = MisalignedQuery();
+      q.non_group_by.push_back(NonGroupByPredicate{3, 2, OrdinalRange{0, 24}});
+      break;
+  }
+  ChunkCacheManager chunk_mgr(engine_.get(), ChunkManagerOptions{});
+  QueryCacheManager query_mgr(engine_.get(), QueryManagerOptions{});
+  NoCacheManager none(engine_.get());
+  QueryStats s;
+  auto a = chunk_mgr.Execute(q, &s);
+  auto b = query_mgr.Execute(q, &s);
+  auto c = none.Execute(q, &s);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  const auto naive = Naive(q);
+  ExpectRowsEqual(*a, naive, 4);
+  ExpectRowsEqual(*b, naive, 4);
+  ExpectRowsEqual(*c, naive, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryShapes, ManagerAgreementTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace chunkcache::core

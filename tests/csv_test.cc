@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "schema/csv.h"
+
+namespace chunkcache::schema {
+namespace {
+
+TEST(SplitCsvLineTest, PlainFields) {
+  auto f = SplitCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLineTest, TrimsWhitespaceAndHandlesEmpties) {
+  auto f = SplitCsvLine("  a  , , c\r");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLineTest, QuotedFieldsWithCommasAndQuotes) {
+  auto f = SplitCsvLine("\"a,b\",\"he said \"\"hi\"\"\",plain");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "he said \"hi\"");
+  EXPECT_EQ(f[2], "plain");
+}
+
+TEST(LoadDimensionCsvTest, BuildsHierarchyFromPaths) {
+  std::istringstream in(
+      "state,city,store\n"
+      "WI,Madison,store_0\n"
+      "IL,Chicago,store_3\n"          // out of order on purpose
+      "WI,Madison,store_1\n"
+      "WI,Milwaukee,store_2\n"
+      "IL,Chicago,store_4\n");
+  auto dim = LoadDimensionCsv("Store", {"state", "city", "store"}, in);
+  ASSERT_TRUE(dim.ok()) << dim.status().ToString();
+  const auto& h = dim->hierarchy;
+  EXPECT_EQ(h.depth(), 3u);
+  EXPECT_EQ(h.LevelCardinality(1), 2u);  // IL, WI (sorted)
+  EXPECT_EQ(h.LevelCardinality(2), 3u);
+  EXPECT_EQ(h.LevelCardinality(3), 5u);
+  // Sorted order: IL before WI.
+  EXPECT_EQ(h.MemberName(1, 0), "IL");
+  EXPECT_EQ(h.MemberName(1, 1), "WI");
+  // Chicago's stores are contiguous and under IL.
+  auto chicago = h.OrdinalOf(2, "Chicago");
+  ASSERT_TRUE(chicago.ok());
+  EXPECT_EQ(h.ParentOf(2, *chicago), 0u);
+  EXPECT_EQ(h.ChildRange(2, *chicago).size(), 2u);
+  // Madison ordinal resolves and rolls up to WI.
+  auto store1 = h.OrdinalOf(3, "store_1");
+  ASSERT_TRUE(store1.ok());
+  EXPECT_EQ(h.AncestorAt(3, *store1, 1), 1u);
+}
+
+TEST(LoadDimensionCsvTest, Errors) {
+  {
+    std::istringstream in("state,city\nWI\n");  // wrong arity
+    EXPECT_FALSE(LoadDimensionCsv("S", {"state", "city"}, in).ok());
+  }
+  {
+    std::istringstream in("state\n");  // no data rows
+    EXPECT_FALSE(LoadDimensionCsv("S", {"state"}, in).ok());
+  }
+  {
+    std::istringstream in("");  // empty stream
+    EXPECT_FALSE(LoadDimensionCsv("S", {"state"}, in).ok());
+  }
+  {
+    // Duplicate full paths are deduplicated, not an error.
+    std::istringstream in("state,store\nWI,s0\nWI,s0\nWI,s1\n");
+    auto dim = LoadDimensionCsv("S", {"state", "store"}, in);
+    ASSERT_TRUE(dim.ok());
+    EXPECT_EQ(dim->hierarchy.LevelCardinality(2), 2u);
+  }
+  {
+    // Same member name under two parents: must be rejected (names are
+    // unique per level).
+    std::istringstream in("state,store\nIL,s0\nWI,s0\n");
+    EXPECT_FALSE(LoadDimensionCsv("S", {"state", "store"}, in).ok());
+  }
+}
+
+TEST(LoadFactCsvTest, ResolvesMembersAndMeasure) {
+  std::istringstream dim_in(
+      "state,store\n"
+      "WI,s0\nWI,s1\nIL,s2\n");
+  auto store = LoadDimensionCsv("Store", {"state", "store"}, dim_in);
+  ASSERT_TRUE(store.ok());
+  std::istringstream prod_in("name\npencil\npen\n");
+  auto product = LoadDimensionCsv("Product", {"name"}, prod_in);
+  ASSERT_TRUE(product.ok());
+  std::vector<Dimension> dims;
+  dims.push_back(std::move(*store));
+  dims.push_back(std::move(*product));
+  StarSchema schema("Sales", std::move(dims), "amount");
+
+  std::istringstream facts(
+      "store,product,amount\n"
+      "s0,pencil,1.25\n"
+      "s2,pen,3.5\n"
+      "s1,pen,0.75\n");
+  auto tuples = LoadFactCsv(schema, facts);
+  ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+  ASSERT_EQ(tuples->size(), 3u);
+  const auto& h = schema.dimension(0).hierarchy;
+  EXPECT_EQ((*tuples)[0].keys[0], *h.OrdinalOf(2, "s0"));
+  EXPECT_DOUBLE_EQ((*tuples)[0].measure, 1.25);
+  EXPECT_DOUBLE_EQ((*tuples)[1].measure, 3.5);
+}
+
+TEST(LoadFactCsvTest, Errors) {
+  std::istringstream dim_in("name\na\nb\n");
+  auto d = LoadDimensionCsv("D", {"name"}, dim_in);
+  ASSERT_TRUE(d.ok());
+  std::vector<Dimension> dims;
+  dims.push_back(std::move(*d));
+  StarSchema schema("F", std::move(dims), "m");
+  {
+    std::istringstream facts("d,m\nzzz,1.0\n");  // unknown member
+    EXPECT_EQ(LoadFactCsv(schema, facts).status().code(),
+              StatusCode::kNotFound);
+  }
+  {
+    std::istringstream facts("d,m\na\n");  // wrong arity
+    EXPECT_EQ(LoadFactCsv(schema, facts).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    std::istringstream facts("d,m\na,notanumber\n");
+    EXPECT_EQ(LoadFactCsv(schema, facts).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace chunkcache::schema

@@ -1,0 +1,218 @@
+// Failure-injection tests: a DiskManager decorator that starts failing
+// after a programmable number of operations verifies that every layer
+// (buffer pool, fact file, B+Tree, bitmap index, backend engine, middle
+// tier) propagates Status instead of crashing or corrupting siblings, and
+// that a recovered disk leaves readable state behind.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "core/chunk_cache_manager.h"
+#include "index/bitmap_index.h"
+#include "index/btree.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fact_file.h"
+
+namespace chunkcache {
+namespace {
+
+using storage::BufferPool;
+using storage::DiskManager;
+using storage::InMemoryDiskManager;
+using storage::Page;
+using storage::PageId;
+using storage::Tuple;
+using storage::TupleDesc;
+
+/// Decorator that fails reads/writes once `budget` operations have been
+/// consumed. budget < 0 disables injection.
+class FaultyDiskManager final : public DiskManager {
+ public:
+  explicit FaultyDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  void SetBudget(int64_t ops) { budget_ = ops; }
+
+  uint32_t CreateFile() override { return inner_->CreateFile(); }
+
+  Result<PageId> AllocatePage(uint32_t file_id) override {
+    if (Exhausted()) return Status::IoError("injected allocation fault");
+    return inner_->AllocatePage(file_id);
+  }
+  Status ReadPage(PageId id, Page* out) override {
+    if (Exhausted()) return Status::IoError("injected read fault");
+    ++stats_.reads;
+    return inner_->ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    if (Exhausted()) return Status::IoError("injected write fault");
+    ++stats_.writes;
+    return inner_->WritePage(id, page);
+  }
+  uint32_t FilePageCount(uint32_t file_id) const override {
+    return inner_->FilePageCount(file_id);
+  }
+
+ private:
+  bool Exhausted() {
+    if (budget_ < 0) return false;
+    if (budget_ == 0) return true;
+    --budget_;
+    return false;
+  }
+
+  DiskManager* inner_;
+  int64_t budget_ = -1;
+};
+
+TEST(FaultTest, FactFileAppendSurfacesIoError) {
+  InMemoryDiskManager real;
+  FaultyDiskManager disk(&real);
+  BufferPool pool(&disk, 4);  // tiny pool forces eviction I/O
+  auto file = storage::FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  Tuple t;
+  t.keys[0] = 1;
+  disk.SetBudget(3);
+  Status last = Status::OK();
+  for (int i = 0; i < 100000 && last.ok(); ++i) {
+    last = file->Append(t).status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kIoError);
+  // Disabling injection makes the file usable again.
+  disk.SetBudget(-1);
+  EXPECT_TRUE(file->Append(t).ok());
+}
+
+TEST(FaultTest, BTreeOperationsSurfaceIoErrorsAtEveryStage) {
+  InMemoryDiskManager real;
+  FaultyDiskManager disk(&real);
+  BufferPool pool(&disk, 8);
+  auto tree = index::BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree->Insert(k, index::BTreePayload{k, 0}).ok());
+  }
+  // Fail during lookups at several budgets: must return IoError, never
+  // crash or return wrong data.
+  for (int64_t budget : {0, 1, 2, 3, 5}) {
+    disk.SetBudget(budget);
+    auto got = tree->Get(1234);
+    if (got.ok()) {
+      EXPECT_EQ(got->v1, 1234u);
+    } else {
+      EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+    }
+  }
+  disk.SetBudget(-1);
+  auto got = tree->Get(1234);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->v1, 1234u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(FaultTest, BTreeInsertFaultsDoNotCorruptExistingData) {
+  InMemoryDiskManager real;
+  FaultyDiskManager disk(&real);
+  BufferPool pool(&disk, 8);
+  auto tree = index::BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree->Insert(k * 2, index::BTreePayload{k, 0}).ok());
+  }
+  // Inject faults while inserting new keys; failures are allowed, but
+  // previously committed keys must stay readable afterwards.
+  disk.SetBudget(20);
+  for (uint64_t k = 0; k < 500; ++k) {
+    (void)tree->Insert(100000 + k, index::BTreePayload{k, 0});
+  }
+  disk.SetBudget(-1);
+  for (uint64_t k = 0; k < 1000; k += 97) {
+    auto got = tree->Get(k * 2);
+    ASSERT_TRUE(got.ok()) << "key " << k * 2;
+    EXPECT_EQ(got->v1, k);
+  }
+}
+
+TEST(FaultTest, EngineAndMiddleTierPropagateBackendFaults) {
+  InMemoryDiskManager real;
+  FaultyDiskManager disk(&real);
+  BufferPool pool(&disk, 512);
+  auto s = schema::BuildPaperSchema();
+  ASSERT_TRUE(s.ok());
+  auto schema = std::make_unique<schema::StarSchema>(std::move(s).value());
+  chunks::ChunkingOptions copts;
+  copts.range_fraction = 0.2;
+  auto scheme = chunks::ChunkingScheme::Build(schema.get(), copts, 10000);
+  ASSERT_TRUE(scheme.ok());
+  schema::FactGenOptions gen;
+  gen.num_tuples = 10000;
+  auto file = backend::ChunkedFile::BulkLoad(
+      &pool, &*scheme, schema::GenerateFactTuples(*schema, gen));
+  ASSERT_TRUE(file.ok());
+  backend::BackendEngine engine(&pool, &*file, &*scheme);
+  ASSERT_TRUE(engine.BuildBitmapIndexes().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+
+  core::ChunkCacheManager tier(&engine, core::ChunkManagerOptions{});
+  backend::StarJoinQuery q;
+  q.group_by = chunks::GroupBySpec{{2, 1, 2, 1}, 4};
+  q.selection[0] = {0, 49};
+  q.selection[1] = {0, 24};
+  q.selection[2] = {0, 24};
+  q.selection[3] = {0, 9};
+
+  // A cold query with a zero I/O budget must fail cleanly...
+  disk.SetBudget(0);
+  core::QueryStats stats;
+  auto rows = tier.Execute(q, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+
+  // ...and succeed once the disk recovers, with correct contents.
+  disk.SetBudget(-1);
+  auto ok_rows = tier.Execute(q, &stats);
+  ASSERT_TRUE(ok_rows.ok());
+  EXPECT_GT(ok_rows->size(), 0u);
+
+  // A later injected fault mid-stream must not poison subsequent queries.
+  disk.SetBudget(5);
+  backend::StarJoinQuery q2 = q;
+  q2.selection[0] = {10, 39};
+  (void)tier.Execute(q2, &stats);
+  disk.SetBudget(-1);
+  auto again = tier.Execute(q2, &stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again->size(), 0u);
+}
+
+TEST(FaultTest, BitmapIndexReadFaultsPropagate) {
+  InMemoryDiskManager real;
+  FaultyDiskManager disk(&real);
+  BufferPool pool(&disk, 64);
+  auto file = storage::FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  for (uint32_t i = 0; i < 5000; ++i) {
+    Tuple t;
+    t.keys[0] = i % 10;
+    ASSERT_TRUE(file->Append(t).ok());
+  }
+  auto idx = index::BitmapIndex::Build(&pool, &*file, 0, 10);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  disk.SetBudget(0);
+  index::Bitmap b;
+  EXPECT_EQ(idx->ReadBitmap(3, &b).code(), StatusCode::kIoError);
+  disk.SetBudget(-1);
+  ASSERT_TRUE(idx->ReadBitmap(3, &b).ok());
+  EXPECT_EQ(b.CountSet(), 500u);
+}
+
+}  // namespace
+}  // namespace chunkcache

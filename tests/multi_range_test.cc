@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <memory>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "backend/multi_range_query.h"
+#include "core/chunk_cache_manager.h"
+#include "core/multi_range.h"
+#include "core/semantic_cache_manager.h"
+#include "core/query_cache_manager.h"
+#include "schema/synthetic.h"
+#include "sql/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace chunkcache::backend {
+namespace {
+
+using chunks::GroupBySpec;
+using schema::OrdinalRange;
+using storage::AggTuple;
+using storage::Tuple;
+
+// ------------------------------ Run algebra ---------------------------------
+
+TEST(RunAlgebraTest, NormalizeSortsMergesAdjacentAndOverlapping) {
+  auto runs = NormalizeRuns({{8, 9}, {1, 3}, {4, 5}, {2, 6}, {11, 12}});
+  // {1,3}+{2,6}+{4,5} merge; {8,9} is adjacent to nothing below it but
+  // {11,12} stays separate.
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (OrdinalRange{1, 6}));
+  EXPECT_EQ(runs[1], (OrdinalRange{8, 9}));
+  EXPECT_EQ(runs[2], (OrdinalRange{11, 12}));
+  // Adjacent single points merge into one run.
+  auto points = NormalizeRuns({{3, 3}, {1, 1}, {2, 2}});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], (OrdinalRange{1, 3}));
+  EXPECT_TRUE(NormalizeRuns({}).empty());
+}
+
+TEST(RunAlgebraTest, IntersectRuns) {
+  const std::vector<OrdinalRange> a = {{0, 5}, {10, 20}};
+  const std::vector<OrdinalRange> b = {{3, 12}, {18, 30}};
+  auto out = IntersectRuns(a, b);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (OrdinalRange{3, 5}));
+  EXPECT_EQ(out[1], (OrdinalRange{10, 12}));
+  EXPECT_EQ(out[2], (OrdinalRange{18, 20}));
+  EXPECT_TRUE(IntersectRuns(a, {{6, 9}}).empty());
+  EXPECT_TRUE(IntersectRuns({}, a).empty());
+}
+
+// ------------------------------ Decomposition -------------------------------
+
+MultiRangeQuery TwoDimQuery() {
+  MultiRangeQuery q;
+  q.group_by = GroupBySpec{{1, 1, 0, 0}, 4};
+  q.runs[0] = {{0, 2}, {5, 6}};
+  q.runs[1] = {{1, 1}, {4, 8}, {10, 10}};
+  q.runs[2] = {{0, 0}};
+  q.runs[3] = {{0, 0}};
+  return q;
+}
+
+TEST(DecomposeTest, CartesianProductOfRuns) {
+  const MultiRangeQuery q = TwoDimQuery();
+  EXPECT_EQ(q.NumBoxes(), 6u);
+  EXPECT_FALSE(q.IsSingleBox());
+  auto boxes = DecomposeToBoxQueries(q);
+  ASSERT_TRUE(boxes.ok());
+  ASSERT_EQ(boxes->size(), 6u);
+  // Every combination appears exactly once.
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& b : *boxes) {
+    EXPECT_TRUE(b.group_by == q.group_by);
+    seen.insert({b.selection[0].begin, b.selection[1].begin});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(DecomposeTest, SingleBoxRoundTrip) {
+  MultiRangeQuery q;
+  q.group_by = GroupBySpec{{2, 0, 1, 0}, 4};
+  q.runs[0] = {{3, 9}};
+  q.runs[1] = {{0, 0}};
+  q.runs[2] = {{1, 4}};
+  q.runs[3] = {{0, 0}};
+  ASSERT_TRUE(q.IsSingleBox());
+  const backend::StarJoinQuery s = q.AsSingleBox();
+  EXPECT_EQ(s.selection[0], (OrdinalRange{3, 9}));
+  EXPECT_EQ(s.selection[2], (OrdinalRange{1, 4}));
+}
+
+TEST(DecomposeTest, RejectsMalformedAndOversized) {
+  MultiRangeQuery q = TwoDimQuery();
+  q.runs[0] = {{0, 5}, {3, 8}};  // overlapping
+  EXPECT_FALSE(DecomposeToBoxQueries(q).ok());
+  q = TwoDimQuery();
+  q.runs[0].clear();
+  EXPECT_FALSE(DecomposeToBoxQueries(q).ok());
+  q = TwoDimQuery();
+  EXPECT_EQ(DecomposeToBoxQueries(q, /*max_boxes=*/4).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// ------------------------- End-to-end with SQL + tier -----------------------
+
+class MultiRangeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    chunks::ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = chunks::ChunkingScheme::Build(schema_.get(), copts, 20000);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<chunks::ChunkingScheme>(
+        std::move(scheme).value());
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 4096);
+    schema::FactGenOptions gen;
+    gen.num_tuples = 20000;
+    gen.seed = 91;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+    auto file = ChunkedFile::BulkLoad(pool_.get(), scheme_.get(), tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<BackendEngine>(pool_.get(), file_.get(),
+                                              scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<chunks::ChunkingScheme> scheme_;
+  std::vector<Tuple> tuples_;
+  std::unique_ptr<ChunkedFile> file_;
+  std::unique_ptr<BackendEngine> engine_;
+};
+
+TEST_F(MultiRangeFixture, SqlInListContiguousStaysSingleBox) {
+  sql::SqlParser parser(schema_.get());
+  // D2.L1 members 1,2,3 are contiguous ordinals -> one run.
+  auto q = parser.Parse(
+      "SELECT D2.L1, SUM(dollar_sales) FROM Sales, D2 "
+      "WHERE D2.L1 IN ('D2.1.1','D2.1.3','D2.1.2') GROUP BY D2.L1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->selection[2], (OrdinalRange{1, 3}));
+}
+
+TEST_F(MultiRangeFixture, SqlInListWithGapNeedsParseMulti) {
+  sql::SqlParser parser(schema_.get());
+  const char* text =
+      "SELECT D2.L1, SUM(dollar_sales) FROM Sales, D2 "
+      "WHERE D2.L1 IN ('D2.1.0','D2.1.2','D2.1.4') GROUP BY D2.L1";
+  auto single = parser.Parse(text);
+  EXPECT_EQ(single.status().code(), StatusCode::kUnsupported);
+  auto multi = parser.ParseMulti(text);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_EQ(multi->runs[2].size(), 3u);
+  EXPECT_EQ(multi->NumBoxes(), 3u);
+}
+
+TEST_F(MultiRangeFixture, ExecuteMultiRangeMatchesNaive) {
+  sql::SqlParser parser(schema_.get());
+  auto multi = parser.ParseMulti(
+      "SELECT D0.L2, D2.L1, SUM(dollar_sales) FROM Sales, D0, D2 "
+      "WHERE D2.L1 IN ('D2.1.0','D2.1.2','D2.1.4') "
+      "AND D0.L2 BETWEEN 'D0.2.5' AND 'D0.2.30' "
+      "GROUP BY D0.L2, D2.L1");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+
+  core::ChunkCacheManager tier(engine_.get(), core::ChunkManagerOptions{});
+  core::QueryStats stats;
+  auto rows = core::ExecuteMultiRange(&tier, *multi, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+
+  // Naive evaluation over the in-memory tuples.
+  std::map<std::pair<uint32_t, uint32_t>, AggTuple> cells;
+  const auto& h0 = schema_->dimension(0).hierarchy;
+  const auto& h2 = schema_->dimension(2).hierarchy;
+  for (const Tuple& t : tuples_) {
+    const uint32_t c0 = h0.AncestorAt(3, t.keys[0], 2);
+    const uint32_t c2 = h2.AncestorAt(3, t.keys[2], 1);
+    if (c0 < 5 || c0 > 30) continue;
+    if (c2 != 0 && c2 != 2 && c2 != 4) continue;
+    AggTuple& cell = cells[{c0, c2}];
+    cell.sum += t.measure;
+    cell.count += 1;
+  }
+  ASSERT_EQ(rows->size(), cells.size());
+  for (const auto& r : *rows) {
+    const auto it = cells.find({r.coords[0], r.coords[2]});
+    ASSERT_NE(it, cells.end());
+    EXPECT_NEAR(r.sum, it->second.sum, 1e-6);
+    EXPECT_EQ(r.count, it->second.count);
+  }
+  // Stats composed across boxes.
+  EXPECT_GT(stats.chunks_needed, 0u);
+  EXPECT_EQ(stats.chunks_from_backend, stats.chunks_needed);
+
+  // Second run: everything from cache.
+  core::QueryStats s2;
+  auto again = core::ExecuteMultiRange(&tier, *multi, &s2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(s2.full_cache_hit);
+  EXPECT_DOUBLE_EQ(s2.saved_fraction, 1.0);
+  EXPECT_EQ(again->size(), rows->size());
+}
+
+TEST_F(MultiRangeFixture, ExecuteMultiRangeHonorsBoxCap) {
+  sql::SqlParser parser(schema_.get());
+  auto multi = parser.ParseMulti(
+      "SELECT D0.L3, D2.L2, SUM(dollar_sales) FROM Sales, D0, D2 "
+      "WHERE D0.L3 IN ('D0.3.0','D0.3.2','D0.3.4','D0.3.6') "
+      "AND D2.L2 IN ('D2.2.0','D2.2.2','D2.2.4') "
+      "GROUP BY D0.L3, D2.L2");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  EXPECT_EQ(multi->NumBoxes(), 12u);
+  core::ChunkCacheManager tier(engine_.get(), core::ChunkManagerOptions{});
+  core::QueryStats stats;
+  auto capped = core::ExecuteMultiRange(&tier, *multi, &stats, /*max_boxes=*/4);
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  auto ok = core::ExecuteMultiRange(&tier, *multi, &stats);
+  ASSERT_TRUE(ok.ok());
+}
+
+TEST_F(MultiRangeFixture, SemanticTierAlsoAnswersMultiRange) {
+  // ExecuteMultiRange works with any middle tier.
+  sql::SqlParser parser(schema_.get());
+  auto multi = parser.ParseMulti(
+      "SELECT D2.L1, SUM(dollar_sales) FROM Sales, D2 "
+      "WHERE D2.L1 IN ('D2.1.0','D2.1.2') GROUP BY D2.L1");
+  ASSERT_TRUE(multi.ok());
+  core::SemanticCacheManager sem(engine_.get(),
+                                 core::SemanticManagerOptions{});
+  core::NoCacheManager none(engine_.get());
+  core::QueryStats s1, s2;
+  auto a = core::ExecuteMultiRange(&sem, *multi, &s1);
+  auto b = core::ExecuteMultiRange(&none, *multi, &s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].coords[2], (*b)[i].coords[2]);
+    EXPECT_NEAR((*a)[i].sum, (*b)[i].sum, 1e-6);
+  }
+  // Repeat through the semantic tier: full hit.
+  core::QueryStats s3;
+  ASSERT_TRUE(core::ExecuteMultiRange(&sem, *multi, &s3).ok());
+  EXPECT_TRUE(s3.full_cache_hit);
+}
+
+TEST_F(MultiRangeFixture, InOnNonGroupByAttributeRejectedWhenDisjoint) {
+  sql::SqlParser parser(schema_.get());
+  auto q = parser.ParseMulti(
+      "SELECT D0.L2, SUM(dollar_sales) FROM Sales, D0, D2 "
+      "WHERE D2.L1 IN ('D2.1.0','D2.1.2') GROUP BY D0.L2");
+  EXPECT_EQ(q.status().code(), StatusCode::kUnsupported);
+  // A contiguous IN on a non-group-by attribute is fine.
+  auto ok = parser.ParseMulti(
+      "SELECT D0.L2, SUM(dollar_sales) FROM Sales, D0, D2 "
+      "WHERE D2.L1 IN ('D2.1.0','D2.1.1') GROUP BY D0.L2");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok->non_group_by.size(), 1u);
+  EXPECT_EQ(ok->non_group_by[0].range, (OrdinalRange{0, 1}));
+}
+
+}  // namespace
+}  // namespace chunkcache::backend

@@ -1,0 +1,172 @@
+// Model-based randomized testing of the replacement policies: each policy
+// is driven with a random insert/access/erase/evict trace and checked
+// against policy-specific invariants (LRU against an exact reference
+// implementation; the CLOCK variants against structural guarantees that
+// must hold for any correct implementation).
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <set>
+#include <unordered_map>
+
+#include "cache/replacement.h"
+#include "common/random.h"
+
+namespace chunkcache::cache {
+namespace {
+
+// Exact reference LRU.
+class ReferenceLru {
+ public:
+  void Insert(uint64_t h) {
+    order_.push_front(h);
+    pos_[h] = order_.begin();
+  }
+  void Access(uint64_t h) {
+    auto it = pos_.find(h);
+    if (it == pos_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+  void Erase(uint64_t h) {
+    auto it = pos_.find(h);
+    if (it == pos_.end()) return;
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+  std::optional<uint64_t> Victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.back();
+  }
+  size_t size() const { return pos_.size(); }
+
+ private:
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+};
+
+TEST(ReplacementModelTest, LruMatchesReferenceExactly) {
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    Random rng(seed);
+    LruPolicy policy;
+    ReferenceLru reference;
+    std::set<uint64_t> live;
+    uint64_t next = 0;
+    for (int step = 0; step < 5000; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.4 || live.empty()) {
+        const uint64_t h = next++;
+        policy.OnInsert(h, 1.0);
+        reference.Insert(h);
+        live.insert(h);
+      } else if (roll < 0.6) {
+        // Access a random live handle.
+        auto it = live.begin();
+        std::advance(it, rng.Uniform(live.size()));
+        policy.OnAccess(*it);
+        reference.Access(*it);
+      } else if (roll < 0.8) {
+        auto it = live.begin();
+        std::advance(it, rng.Uniform(live.size()));
+        policy.OnErase(*it);
+        reference.Erase(*it);
+        live.erase(it);
+      } else {
+        const auto got = policy.PickVictim(1.0);
+        const auto want = reference.Victim();
+        ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+        if (got) {
+          ASSERT_EQ(*got, *want) << "step " << step;
+          // Evict it, as the cache would.
+          policy.OnErase(*got);
+          reference.Erase(*want);
+          live.erase(*got);
+        }
+      }
+      ASSERT_EQ(policy.size(), reference.size());
+    }
+  }
+}
+
+// Structural invariants every policy must satisfy under random traces:
+// victims are live entries; size bookkeeping is exact; a policy never
+// "loses" entries (every live entry is eventually evictable).
+class AnyPolicyModelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AnyPolicyModelTest, VictimsAreAlwaysLiveAndSizeIsExact) {
+  auto policy = MakePolicy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  Random rng(99);
+  std::set<uint64_t> live;
+  uint64_t next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.45 || live.empty()) {
+      const uint64_t h = next++;
+      policy->OnInsert(h, 1.0 + rng.NextDouble() * 100);
+      live.insert(h);
+    } else if (roll < 0.6) {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      policy->OnAccess(*it);
+    } else if (roll < 0.75) {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      policy->OnErase(*it);
+      live.erase(it);
+    } else {
+      auto victim = policy->PickVictim(1.0 + rng.NextDouble() * 10);
+      ASSERT_EQ(victim.has_value(), !live.empty()) << "step " << step;
+      if (victim) {
+        ASSERT_TRUE(live.count(*victim)) << "dead victim at step " << step;
+        policy->OnErase(*victim);
+        live.erase(*victim);
+      }
+    }
+    ASSERT_EQ(policy->size(), live.size()) << "step " << step;
+  }
+  // Drain: every remaining entry must be nominated eventually.
+  while (!live.empty()) {
+    auto victim = policy->PickVictim(1e9);
+    ASSERT_TRUE(victim.has_value());
+    ASSERT_TRUE(live.count(*victim));
+    policy->OnErase(*victim);
+    live.erase(*victim);
+  }
+  EXPECT_FALSE(policy->PickVictim(1.0).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AnyPolicyModelTest,
+                         ::testing::Values("lru", "clock", "benefit-clock"));
+
+// Behavioral check: under a scan-like trace (insert many once-used
+// entries), benefit-clock retains high-benefit entries far longer than
+// LRU does.
+TEST(ReplacementModelTest, BenefitClockShieldsExpensiveEntries) {
+  auto run = [](const char* name) {
+    auto policy = MakePolicy(name);
+    // Two expensive entries among a stream of cheap ones; cache holds 10.
+    std::set<uint64_t> live;
+    uint64_t next = 0;
+    auto insert = [&](double benefit) {
+      while (live.size() >= 10) {
+        auto v = policy->PickVictim(benefit);
+        policy->OnErase(*v);
+        live.erase(*v);
+      }
+      policy->OnInsert(next, benefit);
+      live.insert(next);
+      ++next;
+    };
+    insert(500.0);
+    insert(500.0);
+    const uint64_t expensive_a = 0, expensive_b = 1;
+    for (int i = 0; i < 200; ++i) insert(1.0);
+    return live.count(expensive_a) + live.count(expensive_b);
+  };
+  EXPECT_EQ(run("benefit-clock"), 2u);  // both survived the scan
+  EXPECT_EQ(run("lru"), 0u);            // LRU flushed them
+}
+
+}  // namespace
+}  // namespace chunkcache::cache

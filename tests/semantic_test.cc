@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "cache/semantic_cache.h"
+#include "common/random.h"
+#include "core/query_cache_manager.h"
+#include "core/semantic_cache_manager.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache::cache {
+namespace {
+
+using backend::StarJoinQuery;
+using chunks::GroupBySpec;
+using schema::OrdinalRange;
+using storage::AggTuple;
+
+RegionBox Box2(OrdinalRange x, OrdinalRange y) {
+  RegionBox b;
+  b.num_dims = 2;
+  b.ranges[0] = x;
+  b.ranges[1] = y;
+  return b;
+}
+
+// ------------------------------ Box algebra ---------------------------------
+
+TEST(RegionBoxTest, VolumeAndContains) {
+  RegionBox b = Box2({2, 4}, {10, 10});
+  EXPECT_EQ(b.Volume(), 3u);
+  AggTuple row;
+  row.coords = {3, 10};
+  EXPECT_TRUE(b.Contains(row));
+  row.coords = {5, 10};
+  EXPECT_FALSE(b.Contains(row));
+}
+
+TEST(RegionBoxTest, IntersectBasics) {
+  auto i = IntersectBoxes(Box2({0, 9}, {0, 9}), Box2({5, 15}, {3, 7}));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->ranges[0], (OrdinalRange{5, 9}));
+  EXPECT_EQ(i->ranges[1], (OrdinalRange{3, 7}));
+  EXPECT_FALSE(
+      IntersectBoxes(Box2({0, 4}, {0, 4}), Box2({5, 9}, {0, 4})).has_value());
+}
+
+TEST(RegionBoxTest, SubtractDisjointReturnsOriginal) {
+  auto pieces = SubtractBox(Box2({0, 4}, {0, 4}), Box2({9, 10}, {0, 4}));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].ranges[0], (OrdinalRange{0, 4}));
+}
+
+TEST(RegionBoxTest, SubtractFullCoverReturnsNothing) {
+  auto pieces = SubtractBox(Box2({2, 4}, {2, 4}), Box2({0, 9}, {0, 9}));
+  EXPECT_TRUE(pieces.empty());
+}
+
+TEST(RegionBoxTest, SubtractCenterHole) {
+  // Removing the center of a 10x10 box leaves 4 slabs tiling 91 cells.
+  auto pieces = SubtractBox(Box2({0, 9}, {0, 9}), Box2({3, 5}, {4, 6}));
+  uint64_t total = 0;
+  for (const auto& p : pieces) total += p.Volume();
+  EXPECT_EQ(total, 100u - 9u);
+  // Pieces must be pairwise disjoint.
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(IntersectBoxes(pieces[i], pieces[j]).has_value());
+    }
+  }
+}
+
+// Property sweep: subtraction always tiles a \ b exactly, for random boxes
+// in up to 4 dimensions.
+class SubtractPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubtractPropertyTest, PiecesTileDifferenceExactly) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint32_t dims = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    auto random_box = [&]() {
+      RegionBox b;
+      b.num_dims = dims;
+      for (uint32_t d = 0; d < dims; ++d) {
+        const uint32_t lo = static_cast<uint32_t>(rng.Uniform(8));
+        const uint32_t hi = lo + static_cast<uint32_t>(rng.Uniform(8 - lo));
+        b.ranges[d] = OrdinalRange{lo, hi};
+      }
+      return b;
+    };
+    const RegionBox a = random_box();
+    const RegionBox b = random_box();
+    const auto pieces = SubtractBox(a, b);
+    // Volume bookkeeping.
+    const auto inter = IntersectBoxes(a, b);
+    const uint64_t expected =
+        a.Volume() - (inter ? inter->Volume() : 0);
+    uint64_t total = 0;
+    for (const auto& p : pieces) total += p.Volume();
+    ASSERT_EQ(total, expected);
+    // Every cell of every piece is in a and not in b; pieces disjoint.
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      ASSERT_TRUE(IntersectBoxes(pieces[i], a).has_value());
+      auto leak = IntersectBoxes(pieces[i], b);
+      ASSERT_FALSE(leak.has_value());
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        ASSERT_FALSE(IntersectBoxes(pieces[i], pieces[j]).has_value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtractPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------- SemanticRegionCache ---------------------------
+
+StarJoinQuery Q(std::array<uint8_t, 4> levels,
+                std::array<OrdinalRange, 4> sel) {
+  StarJoinQuery q;
+  q.group_by.num_dims = 4;
+  for (int d = 0; d < 4; ++d) {
+    q.group_by.levels[d] = levels[d];
+    q.selection[d] = sel[d];
+  }
+  return q;
+}
+
+SemanticRegion MakeRegion(const StarJoinQuery& q, size_t rows) {
+  SemanticRegion r;
+  r.group_by = q.group_by;
+  r.non_group_by = q.non_group_by;
+  r.box.num_dims = 4;
+  for (int d = 0; d < 4; ++d) r.box.ranges[d] = q.selection[d];
+  r.benefit = 1.0;
+  r.rows.resize(rows);
+  return r;
+}
+
+TEST(SemanticRegionCacheTest, FullCoverAndRemainder) {
+  SemanticRegionCache cache(1 << 20, MakePolicy("lru"));
+  StarJoinQuery big = Q({1, 1, 1, 1},
+                        {OrdinalRange{0, 10}, OrdinalRange{0, 10},
+                         OrdinalRange{0, 4}, OrdinalRange{0, 9}});
+  cache.Insert(MakeRegion(big, 5));
+
+  // Fully contained query: no remainder.
+  StarJoinQuery inner = big;
+  inner.selection[0] = OrdinalRange{2, 6};
+  auto probe = cache.Decompose(inner);
+  EXPECT_TRUE(probe.remainder.empty());
+  EXPECT_DOUBLE_EQ(probe.covered_fraction, 1.0);
+
+  // Overlapping query: covered part + remainder.
+  StarJoinQuery shifted = big;
+  shifted.selection[0] = OrdinalRange{5, 15};
+  probe = cache.Decompose(shifted);
+  EXPECT_EQ(probe.covered.size(), 1u);
+  ASSERT_EQ(probe.remainder.size(), 1u);
+  EXPECT_EQ(probe.remainder[0].ranges[0], (OrdinalRange{11, 15}));
+  EXPECT_NEAR(probe.covered_fraction, 6.0 / 11.0, 1e-12);
+
+  // Different group-by level: nothing reusable.
+  StarJoinQuery other = Q({2, 1, 1, 1},
+                          {OrdinalRange{0, 10}, OrdinalRange{0, 10},
+                           OrdinalRange{0, 4}, OrdinalRange{0, 9}});
+  probe = cache.Decompose(other);
+  EXPECT_TRUE(probe.covered.empty());
+  ASSERT_EQ(probe.remainder.size(), 1u);
+}
+
+TEST(SemanticRegionCacheTest, NonGroupByMustMatch) {
+  SemanticRegionCache cache(1 << 20, MakePolicy("lru"));
+  StarJoinQuery q = Q({1, 1, 1, 1},
+                      {OrdinalRange{0, 10}, OrdinalRange{0, 10},
+                       OrdinalRange{0, 4}, OrdinalRange{0, 9}});
+  q.non_group_by.push_back(backend::NonGroupByPredicate{2, 2, {0, 3}});
+  cache.Insert(MakeRegion(q, 5));
+  StarJoinQuery plain = q;
+  plain.non_group_by.clear();
+  auto probe = cache.Decompose(plain);
+  EXPECT_TRUE(probe.covered.empty());
+  probe = cache.Decompose(q);
+  EXPECT_TRUE(probe.remainder.empty());
+}
+
+TEST(SemanticRegionCacheTest, MultipleRegionsComposeAndCountTests) {
+  SemanticRegionCache cache(1 << 20, MakePolicy("lru"));
+  StarJoinQuery left = Q({1, 1, 1, 1},
+                         {OrdinalRange{0, 4}, OrdinalRange{0, 10},
+                          OrdinalRange{0, 4}, OrdinalRange{0, 9}});
+  StarJoinQuery right = left;
+  right.selection[0] = OrdinalRange{5, 9};
+  cache.Insert(MakeRegion(left, 2));
+  cache.Insert(MakeRegion(right, 2));
+  StarJoinQuery spanning = left;
+  spanning.selection[0] = OrdinalRange{2, 7};
+  auto probe = cache.Decompose(spanning);
+  EXPECT_EQ(probe.covered.size(), 2u);
+  EXPECT_TRUE(probe.remainder.empty());
+  EXPECT_DOUBLE_EQ(probe.covered_fraction, 1.0);
+  // The linear-intersection overhead is observable.
+  EXPECT_GE(cache.stats().intersection_tests, 2u);
+}
+
+TEST(SemanticRegionCacheTest, EvictionKeepsBudget) {
+  SemanticRegion probe_region;
+  probe_region.rows.resize(50);
+  const uint64_t bytes = probe_region.ByteSize();
+  SemanticRegionCache cache(bytes * 2, MakePolicy("lru"));
+  for (uint32_t i = 0; i < 6; ++i) {
+    StarJoinQuery q = Q({1, 1, 1, 1},
+                        {OrdinalRange{i * 2, i * 2 + 1}, OrdinalRange{0, 10},
+                         OrdinalRange{0, 4}, OrdinalRange{0, 9}});
+    cache.Insert(MakeRegion(q, 50));
+  }
+  EXPECT_LE(cache.bytes_used(), cache.capacity_bytes());
+  EXPECT_EQ(cache.num_regions(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+}
+
+// ---------------------------- SemanticCacheManager --------------------------
+
+class SemanticManagerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    chunks::ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = chunks::ChunkingScheme::Build(schema_.get(), copts, 20000);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<chunks::ChunkingScheme>(
+        std::move(scheme).value());
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 4096);
+    schema::FactGenOptions gen;
+    gen.num_tuples = 20000;
+    gen.seed = 57;
+    auto file = backend::ChunkedFile::BulkLoad(
+        pool_.get(), scheme_.get(),
+        schema::GenerateFactTuples(*schema_, gen));
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(pool_.get(),
+                                                       file_.get(),
+                                                       scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<chunks::ChunkingScheme> scheme_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+TEST_F(SemanticManagerFixture, AgreesWithNoCacheUnderWorkload) {
+  core::SemanticCacheManager semantic(engine_.get(),
+                                      core::SemanticManagerOptions{});
+  core::NoCacheManager reference(engine_.get());
+  workload::QueryGenerator gen(schema_.get(), workload::EqprStream(58));
+  for (int i = 0; i < 100; ++i) {
+    const StarJoinQuery q = gen.Next();
+    core::QueryStats s1, s2;
+    auto a = semantic.Execute(q, &s1);
+    auto b = reference.Execute(q, &s2);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size()) << "query " << i;
+    for (size_t r = 0; r < a->size(); ++r) {
+      for (int d = 0; d < 4; ++d) {
+        ASSERT_EQ((*a)[r].coords[d], (*b)[r].coords[d])
+            << "query " << i << " row " << r;
+      }
+      ASSERT_NEAR((*a)[r].sum, (*b)[r].sum, 1e-6);
+      ASSERT_EQ((*a)[r].count, (*b)[r].count);
+    }
+  }
+}
+
+TEST_F(SemanticManagerFixture, ReusesOverlapLikeChunks) {
+  core::SemanticCacheManager semantic(engine_.get(),
+                                      core::SemanticManagerOptions{});
+  StarJoinQuery q1 = Q({2, 1, 2, 1},
+                       {OrdinalRange{5, 30}, OrdinalRange{0, 24},
+                        OrdinalRange{0, 24}, OrdinalRange{0, 9}});
+  core::QueryStats s1;
+  ASSERT_TRUE(semantic.Execute(q1, &s1).ok());
+  EXPECT_DOUBLE_EQ(s1.saved_fraction, 0.0);
+
+  // Overlapping (not contained) query: semantic caching reuses the
+  // overlap — the capability query-level caching lacks.
+  StarJoinQuery q2 = q1;
+  q2.selection[0] = OrdinalRange{20, 45};
+  core::QueryStats s2;
+  ASSERT_TRUE(semantic.Execute(q2, &s2).ok());
+  EXPECT_GT(s2.saved_fraction, 0.0);
+  EXPECT_LT(s2.saved_fraction, 1.0);
+
+  // Exact repeat: full hit.
+  core::QueryStats s3;
+  ASSERT_TRUE(semantic.Execute(q2, &s3).ok());
+  EXPECT_TRUE(s3.full_cache_hit);
+  EXPECT_EQ(s3.backend_work.tuples_processed, 0u);
+}
+
+TEST_F(SemanticManagerFixture, IntersectionCostGrowsWithRegions) {
+  // The overhead argument of Section 2.4: the number of intersection
+  // tests per probe grows with the number of cached regions.
+  core::SemanticCacheManager semantic(engine_.get(),
+                                      core::SemanticManagerOptions{});
+  workload::QueryGenerator gen(schema_.get(), workload::RandomStream(59));
+  uint64_t tests_before = 0;
+  for (int i = 0; i < 120; ++i) {
+    core::QueryStats s;
+    ASSERT_TRUE(semantic.Execute(gen.Next(), &s).ok());
+    if (i == 20) tests_before = semantic.region_cache().stats().intersection_tests;
+  }
+  const auto& stats = semantic.region_cache().stats();
+  const double early_rate = static_cast<double>(tests_before) / 21.0;
+  const double late_rate =
+      static_cast<double>(stats.intersection_tests - tests_before) / 99.0;
+  EXPECT_GT(late_rate, early_rate);
+  EXPECT_GT(semantic.region_cache().num_regions(), 50u);
+}
+
+}  // namespace
+}  // namespace chunkcache::cache

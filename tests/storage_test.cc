@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fact_file.h"
+
+namespace chunkcache::storage {
+namespace {
+
+// ------------------------------ DiskManager ---------------------------------
+
+TEST(InMemoryDiskManagerTest, CreateAllocateReadWrite) {
+  InMemoryDiskManager dm;
+  const uint32_t f = dm.CreateFile();
+  EXPECT_EQ(f, 1u);
+  auto pid = dm.AllocatePage(f);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(pid->page_no, 0u);
+
+  Page p;
+  p.Zero();
+  p.data[0] = 0xAB;
+  p.data[kPageSize - 1] = 0xCD;
+  ASSERT_TRUE(dm.WritePage(*pid, p).ok());
+
+  Page q;
+  ASSERT_TRUE(dm.ReadPage(*pid, &q).ok());
+  EXPECT_EQ(q.data[0], 0xAB);
+  EXPECT_EQ(q.data[kPageSize - 1], 0xCD);
+  EXPECT_EQ(dm.stats().reads, 1u);
+  EXPECT_EQ(dm.stats().writes, 1u);
+}
+
+TEST(InMemoryDiskManagerTest, FreshPageIsZeroed) {
+  InMemoryDiskManager dm;
+  const uint32_t f = dm.CreateFile();
+  auto pid = dm.AllocatePage(f);
+  ASSERT_TRUE(pid.ok());
+  Page p;
+  ASSERT_TRUE(dm.ReadPage(*pid, &p).ok());
+  for (uint32_t i = 0; i < kPageSize; i += 512) EXPECT_EQ(p.data[i], 0);
+}
+
+TEST(InMemoryDiskManagerTest, ErrorsOnBadIds) {
+  InMemoryDiskManager dm;
+  Page p;
+  EXPECT_EQ(dm.ReadPage(PageId{1, 0}, &p).code(), StatusCode::kIoError);
+  EXPECT_EQ(dm.AllocatePage(7).status().code(), StatusCode::kInvalidArgument);
+  const uint32_t f = dm.CreateFile();
+  EXPECT_EQ(dm.ReadPage(PageId{f, 3}, &p).code(), StatusCode::kIoError);
+  EXPECT_EQ(dm.WritePage(PageId{f, 3}, p).code(), StatusCode::kIoError);
+}
+
+TEST(InMemoryDiskManagerTest, MultipleFilesAreIndependent) {
+  InMemoryDiskManager dm;
+  const uint32_t f1 = dm.CreateFile();
+  const uint32_t f2 = dm.CreateFile();
+  ASSERT_TRUE(dm.AllocatePage(f1).ok());
+  ASSERT_TRUE(dm.AllocatePage(f2).ok());
+  Page a, b;
+  a.Zero();
+  b.Zero();
+  a.data[7] = 1;
+  b.data[7] = 2;
+  ASSERT_TRUE(dm.WritePage(PageId{f1, 0}, a).ok());
+  ASSERT_TRUE(dm.WritePage(PageId{f2, 0}, b).ok());
+  Page out;
+  ASSERT_TRUE(dm.ReadPage(PageId{f1, 0}, &out).ok());
+  EXPECT_EQ(out.data[7], 1);
+  ASSERT_TRUE(dm.ReadPage(PageId{f2, 0}, &out).ok());
+  EXPECT_EQ(out.data[7], 2);
+  EXPECT_EQ(dm.FilePageCount(f1), 1u);
+  EXPECT_EQ(dm.FilePageCount(f2), 1u);
+}
+
+TEST(FileDiskManagerTest, RoundTripsAcrossReopen) {
+  const std::string path = testing::TempDir() + "/chunkcache_fdm_test.db";
+  std::remove(path.c_str());
+  uint32_t f1, f2;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    f1 = (*dm)->CreateFile();
+    f2 = (*dm)->CreateFile();
+    Page p;
+    p.Zero();
+    for (int i = 0; i < 5; ++i) {
+      auto pid = (*dm)->AllocatePage(f1);
+      ASSERT_TRUE(pid.ok());
+      p.data[0] = static_cast<uint8_t>(i);
+      ASSERT_TRUE((*dm)->WritePage(*pid, p).ok());
+    }
+    auto pid2 = (*dm)->AllocatePage(f2);
+    ASSERT_TRUE(pid2.ok());
+    p.data[0] = 99;
+    ASSERT_TRUE((*dm)->WritePage(*pid2, p).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ((*dm)->FilePageCount(f1), 5u);
+    EXPECT_EQ((*dm)->FilePageCount(f2), 1u);
+    Page p;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          (*dm)->ReadPage(PageId{f1, static_cast<uint32_t>(i)}, &p).ok());
+      EXPECT_EQ(p.data[0], static_cast<uint8_t>(i));
+    }
+    ASSERT_TRUE((*dm)->ReadPage(PageId{f2, 0}, &p).ok());
+    EXPECT_EQ(p.data[0], 99);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, LargeDirectorySpansMultiplePages) {
+  // 3000 pages across several files make the serialized directory larger
+  // than one 4 KiB page, exercising the multi-page directory path.
+  const std::string path = testing::TempDir() + "/chunkcache_fdm_large.db";
+  std::remove(path.c_str());
+  std::vector<uint32_t> files;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    Page p;
+    p.Zero();
+    for (int f = 0; f < 3; ++f) {
+      files.push_back((*dm)->CreateFile());
+      for (int i = 0; i < 1000; ++i) {
+        auto pid = (*dm)->AllocatePage(files.back());
+        ASSERT_TRUE(pid.ok());
+        *p.As<uint32_t>() = static_cast<uint32_t>(f * 1000 + i);
+        ASSERT_TRUE((*dm)->WritePage(*pid, p).ok());
+      }
+    }
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    Page p;
+    for (int f = 0; f < 3; ++f) {
+      ASSERT_EQ((*dm)->FilePageCount(files[f]), 1000u);
+      for (uint32_t i = 0; i < 1000; i += 331) {
+        ASSERT_TRUE((*dm)->ReadPage(PageId{files[f], i}, &p).ok());
+        EXPECT_EQ(*p.As<uint32_t>(), static_cast<uint32_t>(f * 1000 + i));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, DestructorPersistsWithoutExplicitSync) {
+  const std::string path = testing::TempDir() + "/chunkcache_fdm_dtor.db";
+  std::remove(path.c_str());
+  uint32_t file_id;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    file_id = (*dm)->CreateFile();
+    auto pid = (*dm)->AllocatePage(file_id);
+    ASSERT_TRUE(pid.ok());
+    Page p;
+    p.Zero();
+    p.data[17] = 99;
+    ASSERT_TRUE((*dm)->WritePage(*pid, p).ok());
+    // No Sync(): the destructor must save the directory.
+  }
+  auto dm = FileDiskManager::Open(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ((*dm)->FilePageCount(file_id), 1u);
+  Page p;
+  ASSERT_TRUE((*dm)->ReadPage(PageId{file_id, 0}, &p).ok());
+  EXPECT_EQ(p.data[17], 99);
+  std::remove(path.c_str());
+}
+
+// ------------------------------ BufferPool ----------------------------------
+
+TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 4);
+  const uint32_t f = dm.CreateFile();
+  PageId pid;
+  {
+    auto g = pool.Allocate(f);
+    ASSERT_TRUE(g.ok());
+    pid = g->id();
+    g->page()->data[0] = 42;
+    g->MarkDirty();
+  }
+  dm.ResetStats();
+  {
+    auto g = pool.Fetch(pid);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->page()->data[0], 42);
+  }
+  EXPECT_EQ(dm.stats().reads, 0u);  // still cached
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPage) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  const uint32_t f = dm.CreateFile();
+  PageId first;
+  {
+    auto g = pool.Allocate(f);
+    ASSERT_TRUE(g.ok());
+    first = g->id();
+    g->page()->data[100] = 7;
+    g->MarkDirty();
+  }
+  // Fill the pool with more pages so `first` gets evicted.
+  for (int i = 0; i < 4; ++i) {
+    auto g = pool.Allocate(f);
+    ASSERT_TRUE(g.ok());
+  }
+  // Read back through a fresh fetch: the data must have been written back.
+  auto g = pool.Fetch(first);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->page()->data[100], 7);
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_GT(pool.stats().dirty_writebacks, 0u);
+}
+
+TEST(BufferPoolTest, AllPinnedExhaustsPool) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  const uint32_t f = dm.CreateFile();
+  auto g1 = pool.Allocate(f);
+  auto g2 = pool.Allocate(f);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = pool.Allocate(f);
+  EXPECT_FALSE(g3.ok());
+  EXPECT_EQ(g3.status().code(), StatusCode::kResourceExhausted);
+  // Releasing one pin makes room again.
+  g1->Release();
+  auto g4 = pool.Allocate(f);
+  EXPECT_TRUE(g4.ok());
+}
+
+TEST(BufferPoolTest, RefetchAfterUnpinCountsHit) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 8);
+  const uint32_t f = dm.CreateFile();
+  PageId pid;
+  {
+    auto g = pool.Allocate(f);
+    ASSERT_TRUE(g.ok());
+    pid = g->id();
+  }
+  const uint64_t misses_before = pool.stats().misses;
+  for (int i = 0; i < 5; ++i) {
+    auto g = pool.Fetch(pid);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool.stats().misses, misses_before);
+  EXPECT_GE(pool.stats().hits, 5u);
+}
+
+TEST(BufferPoolTest, EvictAllDropsCleanAndDirtyPages) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 8);
+  const uint32_t f = dm.CreateFile();
+  PageId pid;
+  {
+    auto g = pool.Allocate(f);
+    ASSERT_TRUE(g.ok());
+    pid = g->id();
+    g->page()->data[3] = 9;
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  dm.ResetStats();
+  auto g = pool.Fetch(pid);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->page()->data[3], 9);
+  EXPECT_EQ(dm.stats().reads, 1u);  // truly refetched from "disk"
+}
+
+TEST(BufferPoolTest, GuardMoveTransfersPin) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  const uint32_t f = dm.CreateFile();
+  auto g1 = pool.Allocate(f);
+  ASSERT_TRUE(g1.ok());
+  PageGuard moved = std::move(*g1);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  // After release both frames are available again.
+  auto g2 = pool.Allocate(f);
+  auto g3 = pool.Allocate(f);
+  EXPECT_TRUE(g2.ok());
+  EXPECT_TRUE(g3.ok());
+}
+
+// -------------------------------- FactFile ----------------------------------
+
+Tuple MakeTuple(uint32_t a, uint32_t b, double m) {
+  Tuple t;
+  t.keys[0] = a;
+  t.keys[1] = b;
+  t.measure = m;
+  return t;
+}
+
+TEST(FactFileTest, AppendAndGet) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  auto file = FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    auto rid = file->Append(MakeTuple(i, i * 2, i * 0.5));
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(*rid, i);
+  }
+  EXPECT_EQ(file->num_tuples(), 1000u);
+  Tuple t;
+  ASSERT_TRUE(file->Get(123, &t).ok());
+  EXPECT_EQ(t.keys[0], 123u);
+  EXPECT_EQ(t.keys[1], 246u);
+  EXPECT_DOUBLE_EQ(t.measure, 61.5);
+  EXPECT_EQ(file->Get(1000, &t).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FactFileTest, TuplesPerPageMatchesRecordSize) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  auto file = FactFile::Create(&pool, TupleDesc{4});
+  ASSERT_TRUE(file.ok());
+  // 4 dims * 4 B + 8 B = 24 B -> 170 tuples per 4096-B page.
+  EXPECT_EQ(file->desc().RecordSize(), 24u);
+  EXPECT_EQ(file->tuples_per_page(), 4096u / 24u);
+}
+
+TEST(FactFileTest, ScanVisitsAllInOrder) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  auto file = FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  const uint32_t n = 2500;
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(file->Append(MakeTuple(i, 0, 0)).ok());
+  }
+  uint32_t expect = 0;
+  ASSERT_TRUE(file->Scan([&](RowId rid, const Tuple& t) {
+                    EXPECT_EQ(rid, expect);
+                    EXPECT_EQ(t.keys[0], expect);
+                    ++expect;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(expect, n);
+}
+
+TEST(FactFileTest, ScanRangeRespectsBoundsAndEarlyStop) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  auto file = FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(file->Append(MakeTuple(i, 0, 0)).ok());
+  }
+  std::vector<RowId> seen;
+  ASSERT_TRUE(file->ScanRange(400, 100,
+                              [&](RowId rid, const Tuple&) {
+                                seen.push_back(rid);
+                                return true;
+                              })
+                  .ok());
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seen.front(), 400u);
+  EXPECT_EQ(seen.back(), 499u);
+
+  seen.clear();
+  ASSERT_TRUE(file->ScanRange(0, 1000,
+                              [&](RowId rid, const Tuple&) {
+                                seen.push_back(rid);
+                                return rid < 9;  // stop after 10 tuples
+                              })
+                  .ok());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(FactFileTest, ScanRangeBeyondEofClamps) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 16);
+  auto file = FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file->Append(MakeTuple(i, 0, 0)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(file->ScanRange(5, 100,
+                              [&](RowId, const Tuple&) {
+                                ++count;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(file->ScanRange(11, 1, [](RowId, const Tuple&) { return true; })
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FactFileTest, FetchRowsCountsOnePinPerPage) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  auto file = FactFile::Create(&pool, TupleDesc{2});
+  ASSERT_TRUE(file.ok());
+  const uint32_t tpp = file->tuples_per_page();
+  for (uint32_t i = 0; i < tpp * 4; ++i) {
+    ASSERT_TRUE(file->Append(MakeTuple(i, 0, 0)).ok());
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  pool.ResetStats();
+  // Three rows on the same page -> one miss; one row on another page.
+  std::vector<RowId> rids = {0, 1, 2, static_cast<RowId>(tpp * 2)};
+  std::vector<Tuple> out;
+  ASSERT_TRUE(file->FetchRows(rids, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].keys[0], tpp * 2);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(FactFileTest, ReopenSeesSyncedHeader) {
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 64);
+  uint32_t file_id;
+  {
+    auto file = FactFile::Create(&pool, TupleDesc{3});
+    ASSERT_TRUE(file.ok());
+    file_id = file->file_id();
+    for (uint32_t i = 0; i < 500; ++i) {
+      Tuple t;
+      t.keys[0] = i;
+      t.keys[1] = i + 1;
+      t.keys[2] = i + 2;
+      t.measure = i;
+      ASSERT_TRUE(file->Append(t).ok());
+    }
+    ASSERT_TRUE(file->SyncHeader().ok());
+  }
+  auto reopened = FactFile::Open(&pool, file_id);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_tuples(), 500u);
+  EXPECT_EQ(reopened->desc().num_dims, 3u);
+  Tuple t;
+  ASSERT_TRUE(reopened->Get(499, &t).ok());
+  EXPECT_EQ(t.keys[2], 501u);
+}
+
+TEST(FactFileTest, LargeBulkLoadSurvivesSmallPool) {
+  // The pool is far smaller than the file; appends and scans must still
+  // work through eviction pressure.
+  InMemoryDiskManager dm;
+  BufferPool pool(&dm, 8);
+  auto file = FactFile::Create(&pool, TupleDesc{4});
+  ASSERT_TRUE(file.ok());
+  const uint32_t n = 20000;
+  Random rng(3);
+  std::vector<double> sums(1, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    Tuple t;
+    for (int d = 0; d < 4; ++d) {
+      t.keys[d] = static_cast<uint32_t>(rng.Uniform(100));
+    }
+    t.measure = static_cast<double>(rng.Uniform(1000));
+    sums[0] += t.measure;
+    ASSERT_TRUE(file->Append(t).ok());
+  }
+  double scanned = 0;
+  ASSERT_TRUE(file->Scan([&](RowId, const Tuple& t) {
+                    scanned += t.measure;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_DOUBLE_EQ(scanned, sums[0]);
+}
+
+}  // namespace
+}  // namespace chunkcache::storage

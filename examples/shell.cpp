@@ -50,7 +50,7 @@ void PrintHelp() {
       "star-join SQL:\n"
       "  SELECT D0.L2, D3.L2, SUM(dollar_sales) FROM Sales, D0, D3\n"
       "  WHERE D0.L2 BETWEEN 'D0.2.5' AND 'D0.2.25' GROUP BY D0.L2, D3.L2\n"
-      "dot-commands: .schema  .cache  .reset  .help  .quit\n");
+      "dot-commands: .schema  .cache  .stats  .reset  .help  .quit\n");
 }
 
 }  // namespace
@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
   if (!engine.BuildBitmapIndexes().ok()) return 1;
   core::ChunkManagerOptions mopts;
   mopts.enable_in_cache_aggregation = true;
+  mopts.num_workers = 4;   // parallel miss pipeline
+  mopts.cache_shards = 8;  // sharded, thread-safe chunk cache
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
 
@@ -114,6 +116,39 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.hits,
                   (unsigned long long)cs.lookups,
                   (unsigned long long)cs.evictions);
+      continue;
+    }
+    if (line == ".stats" || line == "stats") {
+      const auto cs = tier.StatsSnapshot();
+      std::printf("cache: chunks=%zu bytes=%llu/%llu shards=%u\n",
+                  tier.chunk_cache().num_chunks(),
+                  (unsigned long long)tier.chunk_cache().bytes_used(),
+                  (unsigned long long)tier.chunk_cache().capacity_bytes(),
+                  tier.chunk_cache().num_shards());
+      std::printf("  lookups=%llu hits=%llu (%.1f%%) insertions=%llu "
+                  "evictions=%llu rejected=%llu\n",
+                  (unsigned long long)cs.lookups, (unsigned long long)cs.hits,
+                  cs.lookups ? 100.0 * cs.hits / cs.lookups : 0.0,
+                  (unsigned long long)cs.insertions,
+                  (unsigned long long)cs.evictions,
+                  (unsigned long long)cs.rejected);
+      std::printf("  lock contention: %.3f ms total\n", cs.contention_ns / 1e6);
+      for (size_t i = 0; i < cs.shards.size(); ++i) {
+        const auto& sh = cs.shards[i];
+        std::printf("  shard %2zu: chunks=%llu bytes=%llu lookups=%llu "
+                    "hit%%=%.1f\n",
+                    i, (unsigned long long)sh.chunks,
+                    (unsigned long long)sh.bytes_used,
+                    (unsigned long long)sh.lookups,
+                    sh.lookups ? 100.0 * sh.hits / sh.lookups : 0.0);
+      }
+      std::printf("executor: tasks submitted=%llu run=%llu queue peak=%llu "
+                  "steal-queue depth=%llu async prefetched=%llu\n",
+                  (unsigned long long)cs.exec_tasks_submitted,
+                  (unsigned long long)cs.exec_tasks_run,
+                  (unsigned long long)cs.exec_queue_peak,
+                  (unsigned long long)cs.exec_steal_queue_depth,
+                  (unsigned long long)cs.async_prefetched_chunks);
       continue;
     }
     if (line == ".reset") {

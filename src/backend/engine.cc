@@ -1,6 +1,8 @@
 #include "backend/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "common/logging.h"
 
@@ -111,7 +113,7 @@ std::optional<size_t> BackendEngine::PickSource(
 Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
     const GroupBySpec& target, const std::vector<uint64_t>& chunk_nums,
     const std::vector<NonGroupByPredicate>& non_group_by,
-    WorkCounters* work) {
+    WorkCounters* work, ThreadPool* executor) {
   const auto disk_before = pool_->disk()->stats();
   // Non-group-by predicates reference base-level detail, so they force
   // computation from the base table.
@@ -176,44 +178,63 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
     return out;
   }
 
-  std::vector<ChunkData> out;
-  out.reserve(chunk_nums.size());
-  for (uint64_t chunk_num : chunk_nums) {
-    CHUNKCACHE_ASSIGN_OR_RETURN(
-        ChunkBox box, scheme_->SourceBox(target, chunk_num, source_spec));
-    HashAggregator agg(scheme_, target);
-    Status status = Status::OK();
-    box.ForEach(scheme_->GridFor(source_spec),
-                [&](uint64_t src_chunk, const ChunkCoords&) {
-                  if (!status.ok()) return;
-                  if (source) {
-                    status = materialized_[*source].ScanChunk(
-                        src_chunk, [&](const AggTuple& row) {
-                          agg.AddAgg(row, source_spec);
-                          return true;
-                        });
-                  } else {
-                    status = file_->ScanChunk(
-                        src_chunk, [&](const Tuple& t) {
-                          for (uint32_t d = 0; d < target.num_dims; ++d) {
-                            if (has_filter[d] &&
-                                !pre_filter[d].Contains(t.keys[d])) {
-                              return true;  // filtered out, keep scanning
-                            }
-                          }
-                          agg.AddBase(t);
-                          return true;
-                        });
-                  }
-                });
-    CHUNKCACHE_RETURN_IF_ERROR(status);
-    work->tuples_processed += agg.rows_consumed();
-    ChunkData data;
-    data.chunk_num = chunk_num;
-    data.rows = agg.TakeRows();
-    SortRows(&data.rows, target.num_dims);
-    out.push_back(std::move(data));
-  }
+  // Each requested chunk maps to a disjoint set of source chunks (the
+  // closure property), so chunks are independent units of work: workers
+  // scan their own source chunks into a private aggregator and the loop
+  // below fans out across `executor` when one is supplied. Tuples counts
+  // accumulate per worker and merge at the end; the result slot for index
+  // i is fixed up front, so parallel output is bit-identical to serial.
+  std::vector<ChunkData> out(chunk_nums.size());
+  std::atomic<uint64_t> tuples_scanned{0};
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  ParallelFor(executor, chunk_nums.size(), [&](uint64_t i) {
+    const uint64_t chunk_num = chunk_nums[i];
+    auto box_or = scheme_->SourceBox(target, chunk_num, source_spec);
+    Status status = box_or.status();
+    if (status.ok()) {
+      HashAggregator agg(scheme_, target);
+      box_or->ForEach(scheme_->GridFor(source_spec),
+                      [&](uint64_t src_chunk, const ChunkCoords&) {
+                        if (!status.ok()) return;
+                        if (source) {
+                          status = materialized_[*source].ScanChunk(
+                              src_chunk, [&](const AggTuple& row) {
+                                agg.AddAgg(row, source_spec);
+                                return true;
+                              });
+                        } else {
+                          status = file_->ScanChunk(
+                              src_chunk, [&](const Tuple& t) {
+                                for (uint32_t d = 0; d < target.num_dims;
+                                     ++d) {
+                                  if (has_filter[d] &&
+                                      !pre_filter[d].Contains(t.keys[d])) {
+                                    return true;  // filtered out
+                                  }
+                                }
+                                agg.AddBase(t);
+                                return true;
+                              });
+                        }
+                      });
+      if (status.ok()) {
+        tuples_scanned.fetch_add(agg.rows_consumed(),
+                                 std::memory_order_relaxed);
+        ChunkData data;
+        data.chunk_num = chunk_num;
+        data.rows = agg.TakeRows();
+        SortRows(&data.rows, target.num_dims);
+        out[i] = std::move(data);
+      }
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = status;
+    }
+  });
+  CHUNKCACHE_RETURN_IF_ERROR(first_error);
+  work->tuples_processed += tuples_scanned.load(std::memory_order_relaxed);
   const auto disk_after = pool_->disk()->stats();
   work->pages_read += disk_after.reads - disk_before.reads;
   work->pages_written += disk_after.writes - disk_before.writes;

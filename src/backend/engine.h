@@ -13,6 +13,7 @@
 #include "chunks/chunking_scheme.h"
 #include "common/cost_model.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/bitmap_index.h"
 
 namespace chunkcache::backend {
@@ -22,9 +23,10 @@ struct ChunkData {
   uint64_t chunk_num = 0;
   std::vector<storage::AggTuple> rows;
 
-  /// In-memory footprint, charged against the cache budget.
+  /// In-memory footprint, charged against the cache budget. Uses
+  /// capacity(), matching what the allocator actually holds.
   uint64_t ByteSize() const {
-    return sizeof(ChunkData) + rows.size() * sizeof(storage::AggTuple);
+    return sizeof(ChunkData) + rows.capacity() * sizeof(storage::AggTuple);
   }
 };
 
@@ -94,11 +96,19 @@ class BackendEngine {
   /// computed from the cheapest eligible source (a materialized aggregate
   /// or the base chunked file). `non_group_by` predicates force computation
   /// from base. Work done (physical pages, tuples) is added to `*work`.
+  ///
+  /// When `executor` is non-null (and the file is clustered), the chunks
+  /// fan out across the pool's workers: each requested chunk maps to a
+  /// disjoint set of source chunks (the closure property), so workers scan
+  /// independently into private aggregators, and per-worker counters are
+  /// merged at the end. Output is deterministic — element i of the result
+  /// is chunk_nums[i] with canonically sorted rows, identical to the
+  /// serial path. Passing nullptr keeps the exact serial code path.
   Result<std::vector<ChunkData>> ComputeChunks(
       const chunks::GroupBySpec& target,
       const std::vector<uint64_t>& chunk_nums,
       const std::vector<NonGroupByPredicate>& non_group_by,
-      WorkCounters* work);
+      WorkCounters* work, ThreadPool* executor = nullptr);
 
   /// Evaluates a full star-join query (the no-cache path and the
   /// query-cache miss path): bitmap selection when available and selective

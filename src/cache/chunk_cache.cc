@@ -1,89 +1,203 @@
 #include "cache/chunk_cache.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace chunkcache::cache {
 
+namespace {
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 ChunkCache::ChunkCache(uint64_t capacity_bytes,
                        std::unique_ptr<ReplacementPolicy> policy)
-    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
-  CHUNKCACHE_CHECK(policy_ != nullptr);
+    : capacity_bytes_(capacity_bytes) {
+  CHUNKCACHE_CHECK(policy != nullptr);
+  auto shard = std::make_unique<Shard>();
+  shard->policy = std::move(policy);
+  shard->capacity_bytes = capacity_bytes;
+  shards_.push_back(std::move(shard));
 }
 
-const CachedChunk* ChunkCache::Lookup(uint32_t group_by_id,
-                                      uint64_t chunk_num,
-                                      uint64_t filter_hash) {
-  ++stats_.lookups;
-  auto it = by_key_.find(Key{group_by_id, chunk_num, filter_hash});
-  if (it == by_key_.end()) return nullptr;
-  ++stats_.hits;
-  policy_->OnAccess(it->second);
-  return &by_handle_.at(it->second);
+ChunkCache::ChunkCache(uint64_t capacity_bytes, const std::string& policy,
+                       uint32_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  const uint32_t n = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = MakePolicy(policy);
+    CHUNKCACHE_CHECK(shard->policy != nullptr);
+    shard->capacity_bytes = capacity_bytes / n;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::unique_lock<std::mutex> ChunkCache::LockShard(const Shard& s) const {
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    contention_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count(),
+        std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+ChunkHandle ChunkCache::Lookup(uint32_t group_by_id, uint64_t chunk_num,
+                               uint64_t filter_hash) {
+  const Key key{group_by_id, chunk_num, filter_hash};
+  Shard& s = ShardFor(key);
+  auto lock = LockShard(s);
+  ++s.lookups;
+  auto it = s.by_key.find(key);
+  if (it == s.by_key.end()) return nullptr;
+  ++s.hits;
+  s.policy->OnAccess(it->second);
+  return s.by_handle.at(it->second);
 }
 
 bool ChunkCache::Contains(uint32_t group_by_id, uint64_t chunk_num,
                           uint64_t filter_hash) const {
-  return by_key_.find(Key{group_by_id, chunk_num, filter_hash}) !=
-         by_key_.end();
+  const Key key{group_by_id, chunk_num, filter_hash};
+  Shard& s = ShardFor(key);
+  auto lock = LockShard(s);
+  return s.by_key.find(key) != s.by_key.end();
 }
 
 uint64_t ChunkCache::CountForGroupBy(uint32_t group_by_id) const {
-  auto it = per_group_by_.find(group_by_id);
-  return it == per_group_by_.end() ? 0 : it->second;
+  uint64_t count = 0;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    auto it = shard->per_group_by.find(group_by_id);
+    if (it != shard->per_group_by.end()) count += it->second;
+  }
+  return count;
 }
 
-void ChunkCache::Erase(uint64_t handle) {
-  auto it = by_handle_.find(handle);
-  CHUNKCACHE_DCHECK(it != by_handle_.end());
-  const CachedChunk& chunk = it->second;
-  bytes_used_ -= chunk.ByteSize();
-  auto pg = per_group_by_.find(chunk.group_by_id);
-  if (pg != per_group_by_.end() && --pg->second == 0) {
-    per_group_by_.erase(pg);
+void ChunkCache::EraseLocked(Shard& s, uint64_t handle) {
+  auto it = s.by_handle.find(handle);
+  CHUNKCACHE_DCHECK(it != s.by_handle.end());
+  const CachedChunk& chunk = *it->second;
+  s.bytes_used -= chunk.ByteSize();
+  auto pg = s.per_group_by.find(chunk.group_by_id);
+  if (pg != s.per_group_by.end() && --pg->second == 0) {
+    s.per_group_by.erase(pg);
   }
-  by_key_.erase(Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash});
-  policy_->OnErase(handle);
-  by_handle_.erase(it);
+  s.by_key.erase(Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash});
+  s.policy->OnErase(handle);
+  // Outstanding ChunkHandles keep the data alive; this only drops the
+  // cache's own reference.
+  s.by_handle.erase(it);
 }
 
 void ChunkCache::Insert(CachedChunk chunk) {
+  const Key key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash};
+  Shard& s = ShardFor(key);
   const uint64_t bytes = chunk.ByteSize();
-  if (bytes > capacity_bytes_) {
-    ++stats_.rejected;
+  auto lock = LockShard(s);
+  if (bytes > s.capacity_bytes) {
+    ++s.rejected;
     return;
   }
   // Replace an existing entry for the same key.
-  auto existing = by_key_.find(
-      Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash});
-  if (existing != by_key_.end()) Erase(existing->second);
+  auto existing = s.by_key.find(key);
+  if (existing != s.by_key.end()) EraseLocked(s, existing->second);
 
   // Evict until the newcomer fits.
-  while (bytes_used_ + bytes > capacity_bytes_) {
-    auto victim = policy_->PickVictim(chunk.benefit);
-    if (!victim) break;  // empty cache; nothing to evict
-    Erase(*victim);
-    ++stats_.evictions;
+  while (s.bytes_used + bytes > s.capacity_bytes) {
+    auto victim = s.policy->PickVictim(chunk.benefit);
+    if (!victim) break;  // empty shard; nothing to evict
+    EraseLocked(s, *victim);
+    ++s.evictions;
   }
-  if (bytes_used_ + bytes > capacity_bytes_) {
-    ++stats_.rejected;
+  if (s.bytes_used + bytes > s.capacity_bytes) {
+    ++s.rejected;
     return;
   }
-  const uint64_t handle = next_handle_++;
-  policy_->OnInsert(handle, chunk.benefit);
-  per_group_by_[chunk.group_by_id]++;
-  by_key_[Key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash}] =
-      handle;
-  bytes_used_ += bytes;
-  by_handle_.emplace(handle, std::move(chunk));
-  ++stats_.insertions;
+  const uint64_t handle = s.next_handle++;
+  s.policy->OnInsert(handle, chunk.benefit);
+  s.per_group_by[chunk.group_by_id]++;
+  s.by_key[key] = handle;
+  s.bytes_used += bytes;
+  s.by_handle.emplace(handle,
+                      std::make_shared<CachedChunk>(std::move(chunk)));
+  ++s.insertions;
 }
 
 void ChunkCache::Clear() {
-  for (const auto& [handle, chunk] : by_handle_) policy_->OnErase(handle);
-  by_handle_.clear();
-  by_key_.clear();
-  per_group_by_.clear();
-  bytes_used_ = 0;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    for (const auto& [handle, chunk] : shard->by_handle) {
+      shard->policy->OnErase(handle);
+    }
+    shard->by_handle.clear();
+    shard->by_key.clear();
+    shard->per_group_by.clear();
+    shard->bytes_used = 0;
+  }
+}
+
+uint64_t ChunkCache::bytes_used() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    total += shard->bytes_used;
+  }
+  return total;
+}
+
+size_t ChunkCache::num_chunks() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    total += shard->by_key.size();
+  }
+  return total;
+}
+
+std::string ChunkCache::policy_name() const {
+  return shards_[0]->policy->name();
+}
+
+ChunkCacheStats ChunkCache::stats() const {
+  ChunkCacheStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    out.lookups += shard->lookups;
+    out.hits += shard->hits;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.rejected += shard->rejected;
+    ChunkShardStats per;
+    per.lookups = shard->lookups;
+    per.hits = shard->hits;
+    per.chunks = shard->by_key.size();
+    per.bytes_used = shard->bytes_used;
+    out.shards.push_back(per);
+  }
+  out.contention_ns = contention_ns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ChunkCache::ResetStats() {
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    shard->lookups = 0;
+    shard->hits = 0;
+    shard->insertions = 0;
+    shard->evictions = 0;
+    shard->rejected = 0;
+  }
+  contention_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace chunkcache::cache

@@ -89,15 +89,18 @@ uint32_t ChunkingScheme::NumGroupByIds() const {
 
 const ChunkGrid& ChunkingScheme::GridFor(const GroupBySpec& spec) const {
   const uint32_t id = GroupById(spec);
-  auto it = grids_.find(id);
-  if (it != grids_.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(grids_->mu);
+  auto it = grids_->grids.find(id);
+  if (it != grids_->grids.end()) return *it->second;
   std::array<uint32_t, storage::kMaxDims> num_ranges{};
   for (uint32_t d = 0; d < num_dims(); ++d) {
     num_ranges[d] = dim_chunking_[d].NumRanges(spec.levels[d]);
   }
   auto grid = std::make_unique<ChunkGrid>(spec, num_ranges);
+  // The returned reference stays valid: grids are held by unique_ptr, so
+  // rehashing never moves the ChunkGrid itself.
   const ChunkGrid& ref = *grid;
-  grids_.emplace(id, std::move(grid));
+  grids_->grids.emplace(id, std::move(grid));
   return ref;
 }
 

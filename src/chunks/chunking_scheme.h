@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -99,14 +100,23 @@ class ChunkingScheme {
   uint64_t num_base_tuples() const { return num_base_tuples_; }
 
  private:
+  // Lazily materialized grids, keyed by interned group-by id. GridFor is
+  // called from concurrent query threads, so the map is mutex-guarded;
+  // boxed in a unique_ptr because the scheme itself must stay movable.
+  struct GridCache {
+    std::mutex mu;
+    std::unordered_map<uint32_t, std::unique_ptr<ChunkGrid>> grids;
+  };
+
   ChunkingScheme(const schema::StarSchema* schema, uint64_t num_base_tuples)
-      : schema_(schema), num_base_tuples_(num_base_tuples) {}
+      : schema_(schema),
+        num_base_tuples_(num_base_tuples),
+        grids_(std::make_unique<GridCache>()) {}
 
   const schema::StarSchema* schema_;
   uint64_t num_base_tuples_;
   std::vector<DimensionChunking> dim_chunking_;
-  // Lazily materialized grids, keyed by interned group-by id.
-  mutable std::unordered_map<uint32_t, std::unique_ptr<ChunkGrid>> grids_;
+  std::unique_ptr<GridCache> grids_;
 };
 
 }  // namespace chunkcache::chunks

@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace chunkcache {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// WaitGroup
+// ----------------------------------------------------------------------------
+
+void WaitGroup::Add(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHUNKCACHE_CHECK(count_ > 0);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+uint64_t WaitGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+// ----------------------------------------------------------------------------
+// ThreadPool
+// ----------------------------------------------------------------------------
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  CHUNKCACHE_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHUNKCACHE_CHECK(!shutdown_);
+    queue_.push_back(std::move(fn));
+    ++stats_.tasks_submitted;
+    if (queue_.size() > stats_.queue_peak) stats_.queue_peak = queue_.size();
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain semantics: run everything submitted before shutdown.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.tasks_run;
+    }
+    task();
+  }
+}
+
+// ----------------------------------------------------------------------------
+// ParallelFor
+// ----------------------------------------------------------------------------
+
+void ParallelFor(ThreadPool* pool, uint64_t n,
+                 const std::function<void(uint64_t)>& fn) {
+  if (pool == nullptr || n < 2 || ThreadPool::InWorkerThread()) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared cursor: workers and the caller claim indexes until exhausted.
+  auto cursor = std::make_shared<std::atomic<uint64_t>>(0);
+  auto wg = std::make_shared<WaitGroup>();
+  const uint64_t helpers =
+      std::min<uint64_t>(pool->num_threads(), n > 1 ? n - 1 : 0);
+  wg->Add(helpers);
+  for (uint64_t h = 0; h < helpers; ++h) {
+    pool->Submit([cursor, wg, &fn, n] {
+      for (uint64_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+        fn(i);
+      }
+      wg->Done();
+    });
+  }
+  for (uint64_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+    fn(i);
+  }
+  wg->Wait();
+}
+
+}  // namespace chunkcache

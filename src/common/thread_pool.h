@@ -1,0 +1,95 @@
+#ifndef CHUNKCACHE_COMMON_THREAD_POOL_H_
+#define CHUNKCACHE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chunkcache {
+
+/// Counts outstanding tasks and lets one thread block until they finish.
+/// The usual protocol: Add(n) before submitting n tasks, each task calls
+/// Done() when it completes, the coordinator calls Wait(). Add may be
+/// called again after Wait returns (the group is reusable).
+class WaitGroup {
+ public:
+  void Add(uint64_t n = 1);
+  void Done();
+  void Wait();
+
+  /// Outstanding count right now (racy by nature; for stats display only).
+  uint64_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t count_ = 0;
+};
+
+/// Cumulative executor counters. `steal_queue_depth` is always zero — the
+/// pool is deliberately work-stealing-free (one shared FIFO, no per-worker
+/// deques) — and is reported so monitoring can assert that invariant.
+struct ThreadPoolStats {
+  uint64_t tasks_submitted = 0;
+  uint64_t tasks_run = 0;
+  uint64_t queue_peak = 0;  ///< High-water mark of the shared queue.
+  uint64_t steal_queue_depth = 0;
+};
+
+/// Fixed-size thread-pool executor with a single shared FIFO queue — no
+/// work stealing, no dynamic sizing, no external dependencies. Tasks are
+/// plain closures; completion is coordinated through WaitGroup (the pool
+/// itself never exposes futures). Submit is safe from any thread,
+/// including pool workers.
+///
+/// The destructor drains the queue: every task submitted before
+/// destruction runs to completion, then workers join. Tasks must therefore
+/// never outlive the objects they capture; owners that hand `this` to
+/// tasks must destroy the pool first (declare it last).
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// True when called from one of *any* ThreadPool's worker threads. Used
+  /// to keep nested parallelism from deadlocking: a task running on the
+  /// pool must not submit subtasks and block on them, so parallel
+  /// fan-out helpers fall back to serial execution inside workers.
+  static bool InWorkerThread();
+
+  ThreadPoolStats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  ThreadPoolStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) across the pool, with the calling thread participating;
+/// returns when every index has been processed. Indexes are claimed from a
+/// shared cursor, so long and short items balance without stealing. When
+/// `pool` is null, n < 2, or the caller is itself a pool worker (nested
+/// fan-out would risk deadlock), runs serially on the calling thread.
+void ParallelFor(ThreadPool* pool, uint64_t n,
+                 const std::function<void(uint64_t)>& fn);
+
+}  // namespace chunkcache
+
+#endif  // CHUNKCACHE_COMMON_THREAD_POOL_H_

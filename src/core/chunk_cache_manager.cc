@@ -20,7 +20,30 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
                                      ChunkManagerOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      cache_(options_.cache_bytes, cache::MakePolicy(options_.policy)) {}
+      cache_(options_.cache_bytes, options_.policy,
+             std::max<uint32_t>(1, options_.cache_shards)) {
+  if (options_.num_workers > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+}
+
+ChunkCacheManager::~ChunkCacheManager() { DrainPrefetch(); }
+
+void ChunkCacheManager::DrainPrefetch() { prefetch_wg_.Wait(); }
+
+cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
+  cache::ChunkCacheStats s = cache_.stats();
+  if (pool_ != nullptr) {
+    const ThreadPoolStats es = pool_->stats();
+    s.exec_tasks_submitted = es.tasks_submitted;
+    s.exec_tasks_run = es.tasks_run;
+    s.exec_queue_peak = es.queue_peak;
+    s.exec_steal_queue_depth = es.steal_queue_depth;
+  }
+  s.async_prefetched_chunks =
+      async_prefetched_.load(std::memory_order_relaxed);
+  return s;
+}
 
 uint64_t ChunkCacheManager::FilterHash(
     const std::vector<NonGroupByPredicate>& preds) {
@@ -60,13 +83,16 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   stats->chunks_needed = needed.size();
   stats->cost_estimate = static_cast<double>(needed.size()) * benefit;
 
-  // 2. Query splitting: CNumsPresent / CNumsMissing (Section 5.2.3).
+  // 2. Query splitting: CNumsPresent / CNumsMissing (Section 5.2.3). Hits
+  // come back as pinned handles, so concurrent inserts or evictions by
+  // other clients cannot invalidate them before assembly.
   std::vector<AggTuple> rows;
+  std::vector<cache::ChunkHandle> cached;
   std::vector<uint64_t> missing;
   for (uint64_t num : needed) {
-    const cache::CachedChunk* hit = cache_.Lookup(gb_id, num, filter_hash);
+    cache::ChunkHandle hit = cache_.Lookup(gb_id, num, filter_hash);
     if (hit != nullptr) {
-      rows.insert(rows.end(), hit->rows.begin(), hit->rows.end());
+      cached.push_back(std::move(hit));
       ++stats->chunks_from_cache;
     } else {
       missing.push_back(num);
@@ -97,23 +123,55 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     missing = std::move(still_missing);
   }
 
-  // 4. Compute the remaining misses at the backend and admit them.
-  if (!missing.empty()) {
-    CHUNKCACHE_ASSIGN_OR_RETURN(
-        std::vector<ChunkData> computed,
-        engine_->ComputeChunks(query.group_by, missing, query.non_group_by,
-                               &stats->backend_work));
-    stats->chunks_from_backend = computed.size();
-    for (ChunkData& data : computed) {
-      rows.insert(rows.end(), data.rows.begin(), data.rows.end());
-      cache::CachedChunk entry;
-      entry.group_by_id = gb_id;
-      entry.chunk_num = data.chunk_num;
-      entry.filter_hash = filter_hash;
-      entry.benefit = benefit;
-      entry.rows = std::move(data.rows);
-      cache_.Insert(std::move(entry));
+  // 4. Compute the remaining misses at the backend and admit them,
+  // overlapping cache-hit assembly with the backend work: a pool task
+  // copies the pinned hit rows while this thread drives ComputeChunks
+  // (which itself fans out across the same pool). Worker tasks never
+  // block on other tasks, so the overlap cannot deadlock.
+  std::vector<AggTuple> hit_rows;
+  const auto assemble_hits = [&] {
+    size_t total = 0;
+    for (const auto& h : cached) total += h->rows.size();
+    hit_rows.reserve(total);
+    for (const auto& h : cached) {
+      hit_rows.insert(hit_rows.end(), h->rows.begin(), h->rows.end());
     }
+  };
+  Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
+  const bool overlap = pool_ != nullptr && !missing.empty() &&
+                       !cached.empty() && !ThreadPool::InWorkerThread();
+  if (overlap) {
+    WaitGroup wg;
+    wg.Add(1);
+    pool_->Submit([&] {
+      assemble_hits();
+      wg.Done();
+    });
+    computed = engine_->ComputeChunks(query.group_by, missing,
+                                      query.non_group_by,
+                                      &stats->backend_work, pool_.get());
+    wg.Wait();
+  } else {
+    assemble_hits();
+    if (!missing.empty()) {
+      computed = engine_->ComputeChunks(query.group_by, missing,
+                                        query.non_group_by,
+                                        &stats->backend_work, pool_.get());
+    }
+  }
+  CHUNKCACHE_RETURN_IF_ERROR(computed.status());
+  rows.insert(rows.end(), std::make_move_iterator(hit_rows.begin()),
+              std::make_move_iterator(hit_rows.end()));
+  stats->chunks_from_backend = computed->size();
+  for (ChunkData& data : *computed) {
+    rows.insert(rows.end(), data.rows.begin(), data.rows.end());
+    cache::CachedChunk entry;
+    entry.group_by_id = gb_id;
+    entry.chunk_num = data.chunk_num;
+    entry.filter_hash = filter_hash;
+    entry.benefit = benefit;
+    entry.rows = std::move(data.rows);
+    cache_.Insert(std::move(entry));
   }
 
   // 5. Post-processing: trim boundary extras, canonical order.
@@ -132,10 +190,43 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       stats->backend_work.pages_read, stats->backend_work.pages_written,
       stats->backend_work.tuples_processed);
 
-  // 6. Optional drill-down prefetch (paper §7), charged separately.
+  // 6. Optional drill-down prefetch (paper §7). With an executor, fire and
+  // forget: the task computes and admits the child chunks in the
+  // background and is only observable through DrainPrefetch and the
+  // async_prefetched_chunks counter. Serially, run inline and charge
+  // stats->prefetch_work as before.
   if (options_.enable_drill_down_prefetch) {
-    CHUNKCACHE_RETURN_IF_ERROR(
-        PrefetchDrillDown(query, needed, filter_hash, stats));
+    CHUNKCACHE_ASSIGN_OR_RETURN(std::optional<PrefetchPlan> plan,
+                                PlanDrillDown(query, needed, filter_hash));
+    if (plan) {
+      if (pool_ != nullptr && !ThreadPool::InWorkerThread()) {
+        prefetch_wg_.Add(1);
+        pool_->Submit([this, plan = std::move(*plan),
+                       preds = query.non_group_by, filter_hash] {
+          WorkCounters work;
+          // Serial inside the worker (nested fan-out would tie up the
+          // pool); errors are dropped — prefetch is best-effort.
+          auto fetched = engine_->ComputeChunks(plan.drill, plan.to_fetch,
+                                                preds, &work);
+          if (fetched.ok()) {
+            for (ChunkData& data : *fetched) {
+              cache::CachedChunk entry;
+              entry.group_by_id = plan.drill_id;
+              entry.chunk_num = data.chunk_num;
+              entry.filter_hash = filter_hash;
+              entry.benefit = plan.benefit;
+              entry.rows = std::move(data.rows);
+              cache_.Insert(std::move(entry));
+              async_prefetched_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          prefetch_wg_.Done();
+        });
+      } else {
+        CHUNKCACHE_RETURN_IF_ERROR(
+            PrefetchInline(*plan, query.non_group_by, filter_hash, stats));
+      }
+    }
   }
   return rows;
 }
@@ -151,21 +242,26 @@ std::optional<std::vector<AggTuple>> ChunkCacheManager::TryInCacheAggregation(
     if (src == target || !target.CoarserOrEqual(src)) continue;
     auto box = scheme.SourceBox(target, chunk_num, src);
     if (!box.ok()) continue;
-    // All source chunks must be cached under the same filter.
+    // Pin every source chunk up front; a missing one (or one evicted by a
+    // concurrent client since the counter was read) aborts this source.
+    std::vector<cache::ChunkHandle> sources;
     bool all_present = true;
     const chunks::ChunkGrid& src_grid = scheme.GridFor(src);
     box->ForEach(src_grid, [&](uint64_t src_num, const ChunkCoords&) {
-      if (!cache_.Contains(id, src_num, filter_hash)) all_present = false;
+      if (!all_present) return;
+      cache::ChunkHandle h = cache_.Lookup(id, src_num, filter_hash);
+      if (h == nullptr) {
+        all_present = false;
+        return;
+      }
+      sources.push_back(std::move(h));
     });
     if (!all_present) continue;
-    // Aggregate them.
+    // Aggregate the pinned chunks.
     backend::HashAggregator agg(&scheme, target);
-    box->ForEach(src_grid, [&](uint64_t src_num, const ChunkCoords&) {
-      const cache::CachedChunk* chunk =
-          cache_.Lookup(id, src_num, filter_hash);
-      CHUNKCACHE_DCHECK(chunk != nullptr);
+    for (const cache::ChunkHandle& chunk : sources) {
       for (const AggTuple& row : chunk->rows) agg.AddAgg(row, src);
-    });
+    }
     std::vector<AggTuple> rows = agg.TakeRows();
     backend::SortRows(&rows, target.num_dims);
     return rows;
@@ -173,48 +269,55 @@ std::optional<std::vector<AggTuple>> ChunkCacheManager::TryInCacheAggregation(
   return std::nullopt;
 }
 
-Status ChunkCacheManager::PrefetchDrillDown(
-    const StarJoinQuery& query, const std::vector<uint64_t>& chunk_nums,
-    uint64_t filter_hash, QueryStats* stats) {
+Result<std::optional<ChunkCacheManager::PrefetchPlan>>
+ChunkCacheManager::PlanDrillDown(const StarJoinQuery& query,
+                                 const std::vector<uint64_t>& chunk_nums,
+                                 uint64_t filter_hash) {
   const chunks::ChunkingScheme& scheme = engine_->scheme();
   // Drill-down target: every grouped dimension one level finer.
-  GroupBySpec drill = query.group_by;
+  PrefetchPlan plan;
+  plan.drill = query.group_by;
   bool changed = false;
-  for (uint32_t d = 0; d < drill.num_dims; ++d) {
+  for (uint32_t d = 0; d < plan.drill.num_dims; ++d) {
     const auto& h = scheme.schema().dimension(d).hierarchy;
-    if (drill.levels[d] < h.depth()) {
-      drill.levels[d]++;
+    if (plan.drill.levels[d] < h.depth()) {
+      plan.drill.levels[d]++;
       changed = true;
     }
   }
-  if (!changed) return Status::OK();  // already at base everywhere
-  const uint32_t drill_id = scheme.GroupById(drill);
-  const double drill_benefit = scheme.ChunkBenefit(drill);
-  const chunks::ChunkGrid& drill_grid = scheme.GridFor(drill);
+  if (!changed) return std::optional<PrefetchPlan>();  // at base everywhere
+  plan.drill_id = scheme.GroupById(plan.drill);
+  plan.benefit = scheme.ChunkBenefit(plan.drill);
+  const chunks::ChunkGrid& drill_grid = scheme.GridFor(plan.drill);
 
-  std::vector<uint64_t> to_fetch;
   for (uint64_t num : chunk_nums) {
-    if (to_fetch.size() >= options_.prefetch_budget_chunks) break;
-    auto box = scheme.SourceBox(query.group_by, num, drill);
+    if (plan.to_fetch.size() >= options_.prefetch_budget_chunks) break;
+    auto box = scheme.SourceBox(query.group_by, num, plan.drill);
     if (!box.ok()) return box.status();
     box->ForEach(drill_grid, [&](uint64_t child, const ChunkCoords&) {
-      if (to_fetch.size() >= options_.prefetch_budget_chunks) return;
-      if (!cache_.Contains(drill_id, child, filter_hash)) {
-        to_fetch.push_back(child);
+      if (plan.to_fetch.size() >= options_.prefetch_budget_chunks) return;
+      if (!cache_.Contains(plan.drill_id, child, filter_hash)) {
+        plan.to_fetch.push_back(child);
       }
     });
   }
-  if (to_fetch.empty()) return Status::OK();
+  if (plan.to_fetch.empty()) return std::optional<PrefetchPlan>();
+  return std::optional<PrefetchPlan>(std::move(plan));
+}
+
+Status ChunkCacheManager::PrefetchInline(
+    const PrefetchPlan& plan, const std::vector<NonGroupByPredicate>& preds,
+    uint64_t filter_hash, QueryStats* stats) {
   CHUNKCACHE_ASSIGN_OR_RETURN(
       std::vector<ChunkData> computed,
-      engine_->ComputeChunks(drill, to_fetch, query.non_group_by,
+      engine_->ComputeChunks(plan.drill, plan.to_fetch, preds,
                              &stats->prefetch_work));
   for (ChunkData& data : computed) {
     cache::CachedChunk entry;
-    entry.group_by_id = drill_id;
+    entry.group_by_id = plan.drill_id;
     entry.chunk_num = data.chunk_num;
     entry.filter_hash = filter_hash;
-    entry.benefit = drill_benefit;
+    entry.benefit = plan.benefit;
     entry.rows = std::move(data.rows);
     cache_.Insert(std::move(entry));
     ++stats->prefetched_chunks;

@@ -1,12 +1,15 @@
 #ifndef CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
 #define CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "backend/engine.h"
 #include "cache/chunk_cache.h"
+#include "common/thread_pool.h"
 #include "core/middle_tier.h"
 
 namespace chunkcache::core {
@@ -17,13 +20,28 @@ struct ChunkManagerOptions {
   std::string policy = "benefit-clock";  ///< lru | clock | benefit-clock.
   CostModel cost_model;
 
+  /// Worker threads for the parallel miss pipeline. With <= 1 the manager
+  /// runs the exact serial paper path (no pool is created); with more, a
+  /// fixed-size executor (a) fans missing-chunk computation across
+  /// workers, (b) overlaps cache-hit assembly with backend work, and
+  /// (c) makes drill-down prefetch asynchronous.
+  uint32_t num_workers = 1;
+
+  /// Shards of the chunk cache (rounded up to a power of two). 1 keeps
+  /// the original single-map replacement semantics — what the serial
+  /// reproductions use; concurrent deployments want >= 2x the client
+  /// count so Lookup/Insert stay mostly uncontended.
+  uint32_t cache_shards = 1;
+
   /// Paper §7 future work: answer a missing chunk by aggregating *finer*
   /// chunks already in the cache instead of going to the backend.
   bool enable_in_cache_aggregation = false;
 
   /// Paper §7 future work: after answering a query, prefetch the
   /// corresponding chunks one hierarchy level finer (anticipating drill
-  /// down), up to prefetch_budget_chunks per query.
+  /// down), up to prefetch_budget_chunks per query. With num_workers > 1
+  /// the prefetch runs as a fire-and-forget background task (drain with
+  /// DrainPrefetch); serially it runs inline as before.
   bool enable_drill_down_prefetch = false;
   uint32_t prefetch_budget_chunks = 32;
 };
@@ -33,10 +51,17 @@ struct ChunkManagerOptions {
 /// backend to compute only the missing chunks, post-filters boundary
 /// extras, and admits the fresh chunks into the cache under the
 /// benefit-weighted replacement policy.
+///
+/// Thread safety: Execute may be called concurrently from many client
+/// threads once num_workers/cache_shards are configured — the chunk cache
+/// is sharded, lookups return pinned handles, and the backend's chunk
+/// computation only touches thread-safe storage layers. Each caller passes
+/// its own QueryStats.
 class ChunkCacheManager final : public MiddleTier {
  public:
   ChunkCacheManager(backend::BackendEngine* engine,
                     ChunkManagerOptions options);
+  ~ChunkCacheManager() override;
 
   Result<std::vector<backend::ResultRow>> Execute(
       const backend::StarJoinQuery& query, QueryStats* stats) override;
@@ -46,12 +71,32 @@ class ChunkCacheManager final : public MiddleTier {
   cache::ChunkCache& chunk_cache() { return cache_; }
   const ChunkManagerOptions& options() const { return options_; }
 
+  /// Executor driving the parallel pipeline; null in serial configuration.
+  ThreadPool* executor() { return pool_.get(); }
+
+  /// Blocks until every fire-and-forget prefetch task issued so far has
+  /// completed (the drain point for asynchronous drill-down prefetch).
+  void DrainPrefetch();
+
+  /// Cache stats plus executor counters (tasks submitted/run, queue peak,
+  /// steal-queue depth — zero by construction) and the async-prefetch
+  /// count; what `examples/shell.cpp`'s `stats` command prints.
+  cache::ChunkCacheStats StatsSnapshot() const;
+
   /// Signature of a query's non-group-by predicate list; part of every
   /// cached chunk's identity (0 = no predicates). Exposed for tests.
   static uint64_t FilterHash(
       const std::vector<backend::NonGroupByPredicate>& preds);
 
  private:
+  /// Drill-down prefetch target and the missing child chunks to fetch.
+  struct PrefetchPlan {
+    chunks::GroupBySpec drill;
+    uint32_t drill_id = 0;
+    double benefit = 0;
+    std::vector<uint64_t> to_fetch;
+  };
+
   /// Tries to build the missing chunk by aggregating finer chunks already
   /// in the cache; returns the rows or nullopt.
   std::optional<std::vector<storage::AggTuple>> TryInCacheAggregation(
@@ -59,15 +104,25 @@ class ChunkCacheManager final : public MiddleTier {
       uint64_t filter_hash);
 
   /// Computes the drill-down spec (every grouped dimension one level
-  /// finer, capped at base), and prefetches the missing child chunks of
-  /// `chunk_nums`.
-  Status PrefetchDrillDown(const backend::StarJoinQuery& query,
-                           const std::vector<uint64_t>& chunk_nums,
-                           uint64_t filter_hash, QueryStats* stats);
+  /// finer, capped at base) and the missing child chunks of `chunk_nums`;
+  /// nullopt when already at base or nothing is missing.
+  Result<std::optional<PrefetchPlan>> PlanDrillDown(
+      const backend::StarJoinQuery& query,
+      const std::vector<uint64_t>& chunk_nums, uint64_t filter_hash);
+
+  /// Runs `plan` inline, charging `stats` (the serial path).
+  Status PrefetchInline(const PrefetchPlan& plan,
+                        const std::vector<backend::NonGroupByPredicate>& preds,
+                        uint64_t filter_hash, QueryStats* stats);
 
   backend::BackendEngine* engine_;
   ChunkManagerOptions options_;
   cache::ChunkCache cache_;
+  std::atomic<uint64_t> async_prefetched_{0};
+  WaitGroup prefetch_wg_;
+  // Declared last: destroyed first, so in-flight tasks that capture `this`
+  // finish while cache_ and engine_ are still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace chunkcache::core

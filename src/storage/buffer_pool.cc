@@ -7,7 +7,7 @@ namespace chunkcache::storage {
 void PageGuard::MarkDirty() {
   CHUNKCACHE_DCHECK(valid());
   // Mark through the pool so the flag lives on the frame, not the guard.
-  pool_->frames_[frame_].dirty = true;
+  pool_->MarkFrameDirty(frame_);
 }
 
 void PageGuard::Release() {
@@ -25,6 +25,7 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t num_frames)
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
@@ -47,6 +48,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageGuard> BufferPool::Allocate(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   CHUNKCACHE_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage(file_id));
   CHUNKCACHE_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame());
   Frame& f = frames_[frame];
@@ -61,6 +63,7 @@ Result<PageGuard> BufferPool::Allocate(uint32_t file_id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
       CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
@@ -72,6 +75,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (!f.in_use) continue;
     if (f.pin_count > 0) {
@@ -88,10 +92,16 @@ Status BufferPool::EvictAll() {
 }
 
 void BufferPool::Unpin(uint32_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
   CHUNKCACHE_DCHECK(f.pin_count > 0);
   f.pin_count--;
   f.dirty = f.dirty || dirty;
+}
+
+void BufferPool::MarkFrameDirty(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
 }
 
 Result<uint32_t> BufferPool::GrabFrame() {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -76,8 +77,13 @@ struct BufferPoolStats {
 /// All page access in the backend goes through here, so the pool size is the
 /// experiment knob corresponding to the paper's "8 MB buffer pool".
 ///
-/// Not thread-safe: the reproduction drives a single query stream, as the
-/// paper's experiments did.
+/// Thread-safe: one mutex guards the frame table, CLOCK state and pin
+/// counts, so concurrent queries (the parallel miss-chunk pipeline and
+/// multi-client traffic) may fetch pages freely. Page *content* access is
+/// deliberately outside the lock — a pinned page can never be evicted, so
+/// readers holding a PageGuard race with nobody on read-only workloads.
+/// Writers of page content (bulk loads, index builds) must still be
+/// externally serialized, as they always were.
 class BufferPool {
  public:
   /// `num_frames` pages of capacity (e.g. 8 MiB / 4 KiB = 2048 frames).
@@ -100,8 +106,14 @@ class BufferPool {
   /// experiment phases to start cold, mimicking the paper's raw device.
   Status EvictAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats();
+  }
   uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
   DiskManager* disk() const { return disk_; }
 
@@ -118,10 +130,12 @@ class BufferPool {
   };
 
   void Unpin(uint32_t frame, bool dirty);
+  void MarkFrameDirty(uint32_t frame);
   /// Finds a victim frame via CLOCK; writes back if dirty. Returns frame
-  /// index or ResourceExhausted.
+  /// index or ResourceExhausted. Caller must hold mu_.
   Result<uint32_t> GrabFrame();
 
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, uint32_t, PageIdHash> table_;

@@ -26,7 +26,7 @@ Result<PageId> InMemoryDiskManager::AllocatePage(uint32_t file_id) {
   auto page = std::make_unique<Page>();
   page->Zero();
   pages.push_back(std::move(page));
-  ++stats_.allocations;
+  CountAllocation();
   return PageId{file_id, static_cast<uint32_t>(pages.size() - 1)};
 }
 
@@ -41,7 +41,7 @@ Status InMemoryDiskManager::ReadPage(PageId id, Page* out) {
                            std::to_string(id.file_id));
   }
   *out = *pages[id.page_no];
-  ++stats_.reads;
+  CountRead();
   return Status::OK();
 }
 
@@ -54,7 +54,7 @@ Status InMemoryDiskManager::WritePage(PageId id, const Page& page) {
     return Status::IoError("WritePage: page beyond EOF");
   }
   *pages[id.page_no] = page;
-  ++stats_.writes;
+  CountWrite();
   return Status::OK();
 }
 
@@ -222,7 +222,7 @@ Result<PageId> FileDiskManager::AllocatePage(uint32_t file_id) {
   zero.Zero();
   CHUNKCACHE_RETURN_IF_ERROR(PWritePage(fd_, slot, zero));
   pages.push_back(slot);
-  ++stats_.allocations;
+  CountAllocation();
   return PageId{file_id, static_cast<uint32_t>(pages.size() - 1)};
 }
 
@@ -234,7 +234,7 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
   if (id.page_no >= pages.size()) {
     return Status::IoError("ReadPage: page beyond EOF");
   }
-  ++stats_.reads;
+  CountRead();
   return PReadPage(fd_, pages[id.page_no], out);
 }
 
@@ -246,7 +246,7 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
   if (id.page_no >= pages.size()) {
     return Status::IoError("WritePage: page beyond EOF");
   }
-  ++stats_.writes;
+  CountWrite();
   return PWritePage(fd_, pages[id.page_no], page);
 }
 

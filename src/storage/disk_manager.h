@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,10 +49,34 @@ class DiskManager {
   /// Number of pages currently allocated in `file_id`.
   virtual uint32_t FilePageCount(uint32_t file_id) const = 0;
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  /// Snapshot of the I/O counters. Counters are guarded by their own
+  /// mutex so concurrent queries can read work deltas while other threads
+  /// perform I/O (page data itself is serialized by the BufferPool).
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = DiskStats();
+  }
 
  protected:
+  void CountRead() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reads;
+  }
+  void CountWrite() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+  }
+  void CountAllocation() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.allocations;
+  }
+
+ private:
+  mutable std::mutex stats_mu_;
   DiskStats stats_;
 };
 

@@ -137,7 +137,7 @@ TEST(ChunkCacheTest, InsertLookupMiss) {
   ChunkCache cache(1 << 20, MakePolicy("lru"));
   EXPECT_EQ(cache.Lookup(1, 5, 0), nullptr);
   cache.Insert(MakeChunk(1, 5, 0, 1.0, 10));
-  const CachedChunk* hit = cache.Lookup(1, 5, 0);
+  const ChunkHandle hit = cache.Lookup(1, 5, 0);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->rows.size(), 10u);
   EXPECT_DOUBLE_EQ(hit->rows[0].sum, 5.0);
@@ -151,8 +151,8 @@ TEST(ChunkCacheTest, FilterHashIsolatesEntries) {
   ChunkCache cache(1 << 20, MakePolicy("lru"));
   cache.Insert(MakeChunk(1, 5, 0, 1.0, 4));
   cache.Insert(MakeChunk(1, 5, 777, 1.0, 9));
-  const CachedChunk* unfiltered = cache.Lookup(1, 5, 0);
-  const CachedChunk* filtered = cache.Lookup(1, 5, 777);
+  const ChunkHandle unfiltered = cache.Lookup(1, 5, 0);
+  const ChunkHandle filtered = cache.Lookup(1, 5, 777);
   ASSERT_NE(unfiltered, nullptr);
   ASSERT_NE(filtered, nullptr);
   EXPECT_EQ(unfiltered->rows.size(), 4u);

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/bit_util.h"
 #include "common/cost_model.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace chunkcache {
 namespace {
@@ -174,6 +177,123 @@ TEST(CostModelTest, LinearCombination) {
   m.page_write_ms = 20;
   m.tuple_cpu_ms = 0.5;
   EXPECT_DOUBLE_EQ(m.Cost(3, 2, 4), 30 + 40 + 2.0);
+}
+
+// ------------------------------ ThreadPool ---------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  WaitGroup wg;
+  constexpr uint64_t kTasks = 200;
+  wg.Add(kTasks);
+  for (uint64_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, &wg, i] {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+  ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_submitted, kTasks);
+  EXPECT_EQ(s.tasks_run, kTasks);
+  EXPECT_EQ(s.steal_queue_depth, 0u);  // work-stealing-free by construction
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<uint32_t> ran{0};
+  {
+    ThreadPool pool(2);
+    for (uint32_t i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool must run everything already submitted
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDistinguishesCallers) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(1);
+  bool inside = false;
+  WaitGroup wg;
+  wg.Add(1);
+  pool.Submit([&inside, &wg] {
+    inside = ThreadPool::InWorkerThread();
+    wg.Done();
+  });
+  wg.Wait();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);  // one worker: nested blocking would deadlock
+  std::atomic<uint32_t> ran{0};
+  WaitGroup wg;
+  wg.Add(2);
+  pool.Submit([&] {
+    pool.Submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      wg.Done();
+    });
+    ran.fetch_add(1, std::memory_order_relaxed);
+    wg.Done();
+  });
+  wg.Wait();
+  EXPECT_EQ(ran.load(), 2u);
+}
+
+TEST(WaitGroupTest, IsReusableAcrossRounds) {
+  WaitGroup wg;
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<uint32_t> ran{0};
+    wg.Add(8);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+    EXPECT_EQ(ran.load(), 8u);
+    EXPECT_EQ(wg.pending(), 0u);
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 1000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  ParallelFor(&pool, kN, [&hits](uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  std::vector<uint64_t> order;
+  ParallelFor(nullptr, 5, [&order](uint64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, FallsBackToSerialInsideWorker) {
+  ThreadPool pool(2);
+  WaitGroup wg;
+  std::atomic<uint64_t> total{0};
+  wg.Add(1);
+  pool.Submit([&] {
+    // Nested fan-out from a worker must not block on the pool.
+    ParallelFor(&pool, 100, [&total](uint64_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+    wg.Done();
+  });
+  wg.Wait();
+  EXPECT_EQ(total.load(), 99ull * 100 / 2);
 }
 
 TEST(CostModelTest, WorkCountersCompose) {

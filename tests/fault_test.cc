@@ -45,12 +45,12 @@ class FaultyDiskManager final : public DiskManager {
   }
   Status ReadPage(PageId id, Page* out) override {
     if (Exhausted()) return Status::IoError("injected read fault");
-    ++stats_.reads;
+    CountRead();
     return inner_->ReadPage(id, out);
   }
   Status WritePage(PageId id, const Page& page) override {
     if (Exhausted()) return Status::IoError("injected write fault");
-    ++stats_.writes;
+    CountWrite();
     return inner_->WritePage(id, page);
   }
   uint32_t FilePageCount(uint32_t file_id) const override {

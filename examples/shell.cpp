@@ -149,6 +149,17 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.exec_queue_peak,
                   (unsigned long long)cs.exec_steal_queue_depth,
                   (unsigned long long)cs.async_prefetched_chunks);
+      std::printf("kernels: dense=%llu hash=%llu rows folded dense=%llu "
+                  "hash=%llu\n",
+                  (unsigned long long)cs.dense_kernels,
+                  (unsigned long long)cs.hash_kernels,
+                  (unsigned long long)cs.rows_folded_dense,
+                  (unsigned long long)cs.rows_folded_hash);
+      std::printf("run i/o: coalesced reads=%llu single-run reads=%llu "
+                  "runs merged=%llu\n",
+                  (unsigned long long)cs.coalesced_reads,
+                  (unsigned long long)cs.single_run_reads,
+                  (unsigned long long)cs.runs_merged);
       continue;
     }
     if (line == ".reset") {

@@ -5,30 +5,11 @@
 
 namespace chunkcache::backend {
 
+using storage::AggColumns;
 using storage::AggTuple;
 using storage::kPageSize;
 using storage::PageGuard;
 using storage::PageId;
-
-namespace {
-
-void SerializeRow(const AggTuple& row, uint32_t num_dims, uint8_t* dst) {
-  std::memcpy(dst, row.coords.data(), num_dims * 4);
-  std::memcpy(dst + num_dims * 4, &row.sum, 8);
-  std::memcpy(dst + num_dims * 4 + 8, &row.count, 8);
-  std::memcpy(dst + num_dims * 4 + 16, &row.min_v, 8);
-  std::memcpy(dst + num_dims * 4 + 24, &row.max_v, 8);
-}
-
-void DeserializeRow(const uint8_t* src, uint32_t num_dims, AggTuple* row) {
-  std::memcpy(row->coords.data(), src, num_dims * 4);
-  std::memcpy(&row->sum, src + num_dims * 4, 8);
-  std::memcpy(&row->count, src + num_dims * 4 + 8, 8);
-  std::memcpy(&row->min_v, src + num_dims * 4 + 16, 8);
-  std::memcpy(&row->max_v, src + num_dims * 4 + 24, 8);
-}
-
-}  // namespace
 
 Result<AggFile> AggFile::Create(storage::BufferPool* pool, uint32_t num_dims) {
   if (num_dims == 0 || num_dims > storage::kMaxDims) {
@@ -69,11 +50,60 @@ Result<uint64_t> AggFile::Append(const AggTuple& row) {
     CHUNKCACHE_ASSIGN_OR_RETURN(guard,
                                 pool_->Fetch(PageId{file_id_, page_no}));
   }
-  SerializeRow(row, num_dims_,
-               guard.page()->data.data() + slot * record_size_);
+  uint8_t* base = guard.page()->data.data();
+  for (uint32_t d = 0; d < num_dims_; ++d) {
+    std::memcpy(base + CoordOffset(d, slot), &row.coords[d], 4);
+  }
+  std::memcpy(base + MeasureOffset(0, slot), &row.sum, 8);
+  std::memcpy(base + MeasureOffset(1, slot), &row.count, 8);
+  std::memcpy(base + MeasureOffset(2, slot), &row.min_v, 8);
+  std::memcpy(base + MeasureOffset(3, slot), &row.max_v, 8);
   guard.MarkDirty();
   ++num_rows_;
   return rid;
+}
+
+Result<uint64_t> AggFile::AppendColumns(const AggColumns& cols) {
+  if (cols.num_dims() != num_dims_) {
+    return Status::InvalidArgument("AggFile::AppendColumns: dims mismatch");
+  }
+  const uint64_t first_rid = num_rows_;
+  const size_t n = cols.size();
+  size_t done = 0;
+  while (done < n) {
+    const uint32_t page_no =
+        1 + static_cast<uint32_t>(num_rows_ / rows_per_page_);
+    const uint32_t slot = static_cast<uint32_t>(num_rows_ % rows_per_page_);
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<size_t>(rows_per_page_ - slot, n - done));
+    PageGuard guard;
+    if (slot == 0) {
+      CHUNKCACHE_ASSIGN_OR_RETURN(guard, pool_->Allocate(file_id_));
+      if (guard.id().page_no != page_no) {
+        return Status::Internal("AggFile: non-contiguous allocation");
+      }
+    } else {
+      CHUNKCACHE_ASSIGN_OR_RETURN(guard,
+                                  pool_->Fetch(PageId{file_id_, page_no}));
+    }
+    uint8_t* base = guard.page()->data.data();
+    for (uint32_t d = 0; d < num_dims_; ++d) {
+      std::memcpy(base + CoordOffset(d, slot), cols.coords(d).data() + done,
+                  take * 4ull);
+    }
+    std::memcpy(base + MeasureOffset(0, slot), cols.sums().data() + done,
+                take * 8ull);
+    std::memcpy(base + MeasureOffset(1, slot), cols.counts().data() + done,
+                take * 8ull);
+    std::memcpy(base + MeasureOffset(2, slot), cols.mins().data() + done,
+                take * 8ull);
+    std::memcpy(base + MeasureOffset(3, slot), cols.maxs().data() + done,
+                take * 8ull);
+    guard.MarkDirty();
+    num_rows_ += take;
+    done += take;
+  }
+  return first_rid;
 }
 
 Status AggFile::Get(uint64_t rid, AggTuple* out) {
@@ -82,8 +112,15 @@ Status AggFile::Get(uint64_t rid, AggTuple* out) {
   const uint32_t slot = static_cast<uint32_t>(rid % rows_per_page_);
   CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
                               pool_->Fetch(PageId{file_id_, page_no}));
-  DeserializeRow(guard.page()->data.data() + slot * record_size_, num_dims_,
-                 out);
+  const uint8_t* base = guard.page()->data.data();
+  *out = AggTuple{};
+  for (uint32_t d = 0; d < num_dims_; ++d) {
+    std::memcpy(&out->coords[d], base + CoordOffset(d, slot), 4);
+  }
+  std::memcpy(&out->sum, base + MeasureOffset(0, slot), 8);
+  std::memcpy(&out->count, base + MeasureOffset(1, slot), 8);
+  std::memcpy(&out->min_v, base + MeasureOffset(2, slot), 8);
+  std::memcpy(&out->max_v, base + MeasureOffset(3, slot), 8);
   return Status::OK();
 }
 
@@ -100,15 +137,70 @@ Status AggFile::ScanRange(
     const uint32_t page_no = 1 + static_cast<uint32_t>(rid / rows_per_page_);
     CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
                                 pool_->Fetch(PageId{file_id_, page_no}));
+    const uint8_t* base = guard.page()->data.data();
     const uint64_t page_first =
         static_cast<uint64_t>(page_no - 1) * rows_per_page_;
     const uint64_t page_end = std::min(page_first + rows_per_page_, end);
     for (; rid < page_end; ++rid) {
       const uint32_t slot = static_cast<uint32_t>(rid - page_first);
-      DeserializeRow(guard.page()->data.data() + slot * record_size_,
-                     num_dims_, &row);
+      row = AggTuple{};
+      for (uint32_t d = 0; d < num_dims_; ++d) {
+        std::memcpy(&row.coords[d], base + CoordOffset(d, slot), 4);
+      }
+      std::memcpy(&row.sum, base + MeasureOffset(0, slot), 8);
+      std::memcpy(&row.count, base + MeasureOffset(1, slot), 8);
+      std::memcpy(&row.min_v, base + MeasureOffset(2, slot), 8);
+      std::memcpy(&row.max_v, base + MeasureOffset(3, slot), 8);
       if (!fn(row)) return Status::OK();
     }
+  }
+  return Status::OK();
+}
+
+Status AggFile::ScanRangeColumns(uint64_t first, uint64_t count,
+                                 AggColumns* out) {
+  if (first > num_rows_) {
+    return Status::OutOfRange("AggFile::ScanRangeColumns beyond EOF");
+  }
+  const uint64_t end = std::min(first + count, num_rows_);
+  if (first >= end) return Status::OK();
+  if (out->num_dims() != num_dims_) {
+    if (!out->empty()) {
+      return Status::InvalidArgument(
+          "AggFile::ScanRangeColumns: dims mismatch");
+    }
+    *out = AggColumns(num_dims_);
+  }
+  out->Reserve(out->size() + static_cast<size_t>(end - first));
+  uint64_t rid = first;
+  while (rid < end) {
+    const uint32_t page_no = 1 + static_cast<uint32_t>(rid / rows_per_page_);
+    CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                                pool_->Fetch(PageId{file_id_, page_no}));
+    const uint8_t* base = guard.page()->data.data();
+    const uint64_t page_first =
+        static_cast<uint64_t>(page_no - 1) * rows_per_page_;
+    const uint32_t slot = static_cast<uint32_t>(rid - page_first);
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(page_first + rows_per_page_, end) - rid);
+    // Column blocks are contiguous in the page: one memcpy per column.
+    for (uint32_t d = 0; d < num_dims_; ++d) {
+      auto* col = out->mutable_coords(d);
+      const size_t at = col->size();
+      col->resize(at + take);
+      std::memcpy(col->data() + at, base + CoordOffset(d, slot), take * 4ull);
+    }
+    const auto extend = [&](auto* col, uint32_t measure_idx) {
+      const size_t at = col->size();
+      col->resize(at + take);
+      std::memcpy(col->data() + at, base + MeasureOffset(measure_idx, slot),
+                  take * 8ull);
+    };
+    extend(out->mutable_sums(), 0);
+    extend(out->mutable_counts(), 1);
+    extend(out->mutable_mins(), 2);
+    extend(out->mutable_maxs(), 3);
+    rid += take;
   }
   return Status::OK();
 }

@@ -6,17 +6,25 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/agg_columns.h"
 #include "storage/buffer_pool.h"
 #include "storage/tuple.h"
 
 namespace chunkcache::backend {
 
-/// Fixed-length record file for aggregate rows (AggTuple): per record,
-/// `num_dims` 32-bit coordinates, then SUM, COUNT, MIN, MAX (8 bytes
-/// each). Same slot-free page layout as FactFile; used to store
-/// precomputed aggregate tables in chunked form at the backend
-/// (Section 3.1: "even statically precomputed aggregate tables can be
-/// organized on a chunk basis").
+/// Page file for aggregate rows (AggTuple) stored **columnar within each
+/// page**: a page holds `rows_per_page` slots laid out as one contiguous
+/// block per column — `num_dims` uint32 coordinate blocks, then the SUM /
+/// COUNT / MIN / MAX blocks (8 bytes per entry each). Row ids are dense
+/// append-order indexes exactly as before (rid -> page, slot), so the
+/// B-tree chunk runs over this file are unchanged; what changed is the
+/// in-page layout, which lets ScanRangeColumns hand whole chunk runs to
+/// the dense aggregation kernels as flat arrays via a handful of memcpys
+/// instead of a per-row field-by-field decode.
+///
+/// Used to store precomputed aggregate tables in chunked form at the
+/// backend (Section 3.1: "even statically precomputed aggregate tables can
+/// be organized on a chunk basis").
 class AggFile {
  public:
   static Result<AggFile> Create(storage::BufferPool* pool, uint32_t num_dims);
@@ -26,12 +34,23 @@ class AggFile {
   AggFile& operator=(AggFile&&) = default;
 
   Result<uint64_t> Append(const storage::AggTuple& row);
+
+  /// Appends every row of `cols`; returns the rid of the first one.
+  /// Column slices are copied block-wise into each touched page.
+  Result<uint64_t> AppendColumns(const storage::AggColumns& cols);
+
   Status Get(uint64_t rid, storage::AggTuple* out);
 
   /// Visits rows with rid in [first, first+count); `fn` returning false
   /// stops early.
   Status ScanRange(uint64_t first, uint64_t count,
                    const std::function<bool(const storage::AggTuple&)>& fn);
+
+  /// Bulk-decodes rows with rid in [first, first+count) into `*out`,
+  /// *appending* to its columns (callers accumulate several coalesced
+  /// chunk runs into one batch).
+  Status ScanRangeColumns(uint64_t first, uint64_t count,
+                          storage::AggColumns* out);
 
   Status Scan(const std::function<bool(const storage::AggTuple&)>& fn) {
     return ScanRange(0, num_rows_, fn);
@@ -51,13 +70,24 @@ class AggFile {
         record_size_(num_dims * 4 + 32),
         rows_per_page_(storage::kPageSize / record_size_) {}
 
+  /// Byte offset of slot `slot` of coordinate column `d` within a page.
+  uint32_t CoordOffset(uint32_t d, uint32_t slot) const {
+    return (d * rows_per_page_ + slot) * 4;
+  }
+  /// Byte offset of slot `slot` of measure column `m` (0=sum, 1=count,
+  /// 2=min, 3=max) within a page.
+  uint32_t MeasureOffset(uint32_t m, uint32_t slot) const {
+    return num_dims_ * 4 * rows_per_page_ + (m * rows_per_page_ + slot) * 8;
+  }
+
   struct Header {
     uint64_t magic;
     uint32_t num_dims;
     uint32_t reserved;
     uint64_t num_rows;
   };
-  static constexpr uint64_t kMagic = 0x41474746494C4531ULL;  // "AGGFILE1"
+  // "AGGFILE2": version 2 is the columnar in-page layout.
+  static constexpr uint64_t kMagic = 0x41474746494C4532ULL;
 
   storage::BufferPool* pool_;
   uint32_t file_id_;

@@ -1,6 +1,7 @@
 #include "backend/aggregator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -8,11 +9,46 @@ namespace chunkcache::backend {
 
 using chunks::ChunkCoords;
 using chunks::GroupBySpec;
+using storage::AggColumns;
 using storage::AggTuple;
 using storage::Tuple;
+using storage::TupleColumns;
+
+namespace {
+
+/// Reserving more buckets than this from a cell-box bound stops paying for
+/// itself (the box bound is a ceiling, not an occupancy estimate; deep
+/// fallback boxes are sparse by definition).
+constexpr uint64_t kMaxReserveCells = 1ull << 18;
+
+}  // namespace
+
+AggKernelStats AggKernelCounters::Snapshot() const {
+  AggKernelStats s;
+  s.dense_kernels = dense_kernels.load(std::memory_order_relaxed);
+  s.hash_kernels = hash_kernels.load(std::memory_order_relaxed);
+  s.rows_folded_dense = rows_folded_dense.load(std::memory_order_relaxed);
+  s.rows_folded_hash = rows_folded_hash.load(std::memory_order_relaxed);
+  s.coalesced_reads = coalesced_reads.load(std::memory_order_relaxed);
+  s.single_run_reads = single_run_reads.load(std::memory_order_relaxed);
+  s.runs_merged = runs_merged.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AggKernelCounters::Reset() {
+  dense_kernels.store(0, std::memory_order_relaxed);
+  hash_kernels.store(0, std::memory_order_relaxed);
+  rows_folded_dense.store(0, std::memory_order_relaxed);
+  rows_folded_hash.store(0, std::memory_order_relaxed);
+  coalesced_reads.store(0, std::memory_order_relaxed);
+  single_run_reads.store(0, std::memory_order_relaxed);
+  runs_merged.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------ HashAggregator ------------------------------
 
 HashAggregator::HashAggregator(const chunks::ChunkingScheme* scheme,
-                               GroupBySpec target)
+                               GroupBySpec target, uint64_t reserve_cells)
     : scheme_(scheme), target_(target) {
   // Mixed-radix multipliers over target-level cardinalities.
   uint64_t mult = 1;
@@ -22,6 +58,10 @@ HashAggregator::HashAggregator(const chunks::ChunkingScheme* scheme,
     mult *= h.LevelCardinality(target_.levels[d]);
   }
   CHUNKCACHE_CHECK_MSG(mult > 0, "group-by key space overflows 64 bits");
+  if (reserve_cells > 0) {
+    cells_.reserve(
+        static_cast<size_t>(std::min(reserve_cells, kMaxReserveCells)));
+  }
 }
 
 uint64_t HashAggregator::PackKey(const ChunkCoords& coords) const {
@@ -66,6 +106,328 @@ std::vector<AggTuple> HashAggregator::TakeRows() {
   rows_consumed_ = 0;
   return rows;
 }
+
+AggColumns HashAggregator::TakeColumns() {
+  AggColumns cols(target_.num_dims);
+  cols.Reserve(cells_.size());
+  for (auto& [key, cell] : cells_) cols.PushRow(cell);
+  cells_.clear();
+  rows_consumed_ = 0;
+  return cols;
+}
+
+// --------------------------- DenseChunkAggregator ---------------------------
+
+DenseChunkAggregator::DenseChunkAggregator(
+    const chunks::ChunkingScheme* scheme, GroupBySpec target,
+    const std::array<schema::OrdinalRange, storage::kMaxDims>& extent)
+    : scheme_(scheme), target_(target) {
+  uint64_t mult = 1;
+  for (uint32_t d = target_.num_dims; d-- > 0;) {
+    base_[d] = extent[d].begin;
+    width_[d] = extent[d].size();
+    mult_[d] = mult;
+    mult *= width_[d];
+  }
+  num_cells_ = mult;
+  CHUNKCACHE_CHECK_MSG(num_cells_ > 0, "dense kernel: empty cell box");
+  // Sentinels make FoldMeasureAt branch-free on the occupancy check.
+  cells_.assign(num_cells_,
+                Cell{0.0, 0, std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()});
+}
+
+void DenseChunkAggregator::AddBase(const Tuple& t) {
+  uint32_t coords[storage::kMaxDims];
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    coords[d] = h.AncestorAt(h.depth(), t.keys[d], target_.levels[d]);
+  }
+  FoldMeasureAt(FoldOffset(coords), t.measure);
+  ++rows_consumed_;
+}
+
+void DenseChunkAggregator::AddAgg(const AggTuple& row,
+                                  const GroupBySpec& src) {
+  CHUNKCACHE_DCHECK(target_.CoarserOrEqual(src));
+  uint32_t coords[storage::kMaxDims];
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    coords[d] =
+        h.AncestorAt(src.levels[d], row.coords[d], target_.levels[d]);
+  }
+  const uint64_t off = FoldOffset(coords);
+  CHUNKCACHE_DCHECK(off < num_cells_);
+  Cell& c = cells_[off];
+  c.sum += row.sum;
+  c.count += row.count;
+  if (row.min_v < c.min) c.min = row.min_v;
+  if (row.max_v > c.max) c.max = row.max_v;
+  ++rows_consumed_;
+}
+
+void DenseChunkAggregator::BuildBaseLut() {
+  for (uint32_t d = 0; d < target_.num_dims; ++d) {
+    const auto& h = scheme_->schema().dimension(d).hierarchy;
+    const schema::OrdinalRange keys = h.BaseRangeOf(
+        target_.levels[d],
+        schema::OrdinalRange{base_[d], base_[d] + width_[d] - 1});
+    lut_lo_[d] = keys.begin;
+    std::vector<uint64_t>& lut = base_lut_[d];
+    lut.resize(keys.size());
+    if (target_.levels[d] == 0) {
+      // ALL level: every key maps to the single cell at this dimension.
+      std::fill(lut.begin(), lut.end(), 0);
+      continue;
+    }
+    // Fill by target-level member: each member covers one contiguous run
+    // of base keys (hierarchical clustering), so the build is one
+    // BaseRange call per member plus sequential stores — not one rollup
+    // lookup per base key.
+    for (uint32_t m = base_[d]; m < base_[d] + width_[d]; ++m) {
+      const schema::OrdinalRange run = h.BaseRange(target_.levels[d], m);
+      const uint64_t contribution =
+          static_cast<uint64_t>(m - base_[d]) * mult_[d];
+      for (uint32_t k = run.begin; k <= run.end; ++k) {
+        lut[k - keys.begin] = contribution;
+      }
+    }
+  }
+  lut_built_ = true;
+}
+
+template <uint32_t ND>
+void DenseChunkAggregator::FoldBaseRowsUnrolled(const uint32_t* const* keys,
+                                                const uint64_t* const* luts,
+                                                const uint32_t* los,
+                                                const double* measures,
+                                                size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = 0;
+    for (uint32_t d = 0; d < ND; ++d) {
+      off += luts[d][keys[d][i] - los[d]];
+    }
+    FoldMeasureAt(off, measures[i]);
+  }
+}
+
+void DenseChunkAggregator::AddBaseColumns(
+    const TupleColumns& batch, const bool* has_filter,
+    const schema::OrdinalRange* pre_filter) {
+  const size_t n = batch.size();
+  const uint32_t nd = target_.num_dims;
+  if (!lut_built_) BuildBaseLut();
+  if (has_filter == nullptr) {
+    // Unfiltered fast path: the inner kernel is one table load per
+    // dimension plus one indexed fold per row. Raw pointers hoisted so
+    // the loop carries no vector indirection, and the common dimension
+    // counts get fully unrolled offset computations.
+    const uint32_t* keys[storage::kMaxDims];
+    const uint64_t* luts[storage::kMaxDims];
+    uint32_t los[storage::kMaxDims];
+    for (uint32_t d = 0; d < nd; ++d) {
+      keys[d] = batch.keys[d].data();
+      luts[d] = base_lut_[d].data();
+      los[d] = lut_lo_[d];
+    }
+    const double* measures = batch.measure.data();
+    switch (nd) {
+      case 1:
+        FoldBaseRowsUnrolled<1>(keys, luts, los, measures, n);
+        break;
+      case 2:
+        FoldBaseRowsUnrolled<2>(keys, luts, los, measures, n);
+        break;
+      case 3:
+        FoldBaseRowsUnrolled<3>(keys, luts, los, measures, n);
+        break;
+      case 4:
+        FoldBaseRowsUnrolled<4>(keys, luts, los, measures, n);
+        break;
+      default:
+        for (size_t i = 0; i < n; ++i) {
+          uint64_t off = 0;
+          for (uint32_t d = 0; d < nd; ++d) {
+            off += luts[d][keys[d][i] - los[d]];
+          }
+          FoldMeasureAt(off, measures[i]);
+        }
+        break;
+    }
+    rows_consumed_ += n;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = 0;
+    bool pass = true;
+    for (uint32_t d = 0; d < nd; ++d) {
+      const uint32_t key = batch.keys[d][i];
+      if (has_filter[d] && !pre_filter[d].Contains(key)) {
+        pass = false;
+        break;
+      }
+      off += base_lut_[d][key - lut_lo_[d]];
+    }
+    if (!pass) continue;
+    FoldMeasureAt(off, batch.measure[i]);
+    ++rows_consumed_;
+  }
+}
+
+void DenseChunkAggregator::AddAggColumns(const AggColumns& batch,
+                                         const GroupBySpec& src) {
+  CHUNKCACHE_DCHECK(target_.CoarserOrEqual(src));
+  const size_t n = batch.size();
+  const uint32_t nd = target_.num_dims;
+  const schema::Hierarchy* hier[storage::kMaxDims];
+  for (uint32_t d = 0; d < nd; ++d) {
+    hier[d] = &scheme_->schema().dimension(d).hierarchy;
+  }
+  const std::vector<double>& sums = batch.sums();
+  const std::vector<uint64_t>& counts = batch.counts();
+  const std::vector<double>& mins = batch.mins();
+  const std::vector<double>& maxs = batch.maxs();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = 0;
+    for (uint32_t d = 0; d < nd; ++d) {
+      const uint32_t c = hier[d]->AncestorAt(
+          src.levels[d], batch.coords(d)[i], target_.levels[d]);
+      off += static_cast<uint64_t>(c - base_[d]) * mult_[d];
+    }
+    CHUNKCACHE_DCHECK(off < num_cells_);
+    Cell& c = cells_[off];
+    c.sum += sums[i];
+    c.count += counts[i];
+    if (mins[i] < c.min) c.min = mins[i];
+    if (maxs[i] > c.max) c.max = maxs[i];
+    ++rows_consumed_;
+  }
+}
+
+AggColumns DenseChunkAggregator::TakeColumns() {
+  size_t occupied = 0;
+  for (uint64_t off = 0; off < num_cells_; ++off) {
+    if (cells_[off].count != 0) ++occupied;
+  }
+  AggColumns cols(target_.num_dims);
+  cols.Reserve(occupied);
+  // Walk offsets in order — that *is* row-major coordinate order — with an
+  // odometer tracking the cell coordinates.
+  uint32_t coords[storage::kMaxDims];
+  for (uint32_t d = 0; d < target_.num_dims; ++d) coords[d] = base_[d];
+  for (uint64_t off = 0; off < num_cells_; ++off) {
+    const Cell& c = cells_[off];
+    if (c.count != 0) {
+      cols.PushCell(coords, c.sum, c.count, c.min, c.max);
+    }
+    for (uint32_t d = target_.num_dims; d-- > 0;) {
+      if (++coords[d] < base_[d] + width_[d]) break;
+      coords[d] = base_[d];
+    }
+  }
+  cells_.clear();
+  rows_consumed_ = 0;
+  return cols;
+}
+
+// ----------------------------- ChunkAggregator ------------------------------
+
+ChunkAggregator::ChunkAggregator(const chunks::ChunkingScheme* scheme,
+                                 const GroupBySpec& target,
+                                 uint64_t chunk_num,
+                                 uint64_t dense_cell_limit,
+                                 AggKernelCounters* counters)
+    : scheme_(scheme), target_(target), counters_(counters) {
+  const auto extent = scheme->ChunkExtent(target, chunk_num);
+  // Saturating cell-box size: widths are per-dimension chunk-range sizes.
+  uint64_t cells = 1;
+  for (uint32_t d = 0; d < target.num_dims; ++d) {
+    const uint64_t w = extent[d].size();
+    if (cells > std::numeric_limits<uint64_t>::max() / w) {
+      cells = std::numeric_limits<uint64_t>::max();
+      break;
+    }
+    cells *= w;
+  }
+  if (cells <= dense_cell_limit) {
+    dense_.emplace(scheme, target, extent);
+    if (counters_ != nullptr) {
+      counters_->dense_kernels.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    hash_.emplace(scheme, target, /*reserve_cells=*/cells);
+    if (counters_ != nullptr) {
+      counters_->hash_kernels.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ChunkAggregator::AddBase(const Tuple& t) {
+  if (dense_) {
+    dense_->AddBase(t);
+  } else {
+    hash_->AddBase(t);
+  }
+}
+
+void ChunkAggregator::AddAgg(const AggTuple& row, const GroupBySpec& src) {
+  if (dense_) {
+    dense_->AddAgg(row, src);
+  } else {
+    hash_->AddAgg(row, src);
+  }
+}
+
+void ChunkAggregator::AddBaseColumns(const TupleColumns& batch,
+                                     const bool* has_filter,
+                                     const schema::OrdinalRange* pre_filter) {
+  if (dense_) {
+    dense_->AddBaseColumns(batch, has_filter, pre_filter);
+    return;
+  }
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    bool pass = true;
+    if (has_filter != nullptr) {
+      for (uint32_t d = 0; d < target_.num_dims; ++d) {
+        if (has_filter[d] && !pre_filter[d].Contains(batch.keys[d][i])) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (pass) hash_->AddBase(batch.TupleAt(i));
+  }
+}
+
+void ChunkAggregator::AddAggColumns(const AggColumns& batch,
+                                    const GroupBySpec& src) {
+  if (dense_) {
+    dense_->AddAggColumns(batch, src);
+    return;
+  }
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) hash_->AddAgg(batch.RowAt(i), src);
+}
+
+AggColumns ChunkAggregator::TakeColumns() {
+  const uint64_t folded = rows_consumed();
+  if (dense_) {
+    if (counters_ != nullptr) {
+      counters_->rows_folded_dense.fetch_add(folded,
+                                             std::memory_order_relaxed);
+    }
+    return dense_->TakeColumns();  // already row-major
+  }
+  if (counters_ != nullptr) {
+    counters_->rows_folded_hash.fetch_add(folded, std::memory_order_relaxed);
+  }
+  AggColumns cols = hash_->TakeColumns();
+  cols.SortRowMajor();
+  return cols;
+}
+
+// -------------------------------- Row helpers -------------------------------
 
 std::vector<AggTuple> FilterRows(
     std::vector<AggTuple> rows, uint32_t num_dims,

@@ -1,15 +1,44 @@
 #ifndef CHUNKCACHE_BACKEND_AGGREGATOR_H_
 #define CHUNKCACHE_BACKEND_AGGREGATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "chunks/chunking_scheme.h"
 #include "common/status.h"
+#include "storage/agg_columns.h"
 #include "storage/tuple.h"
 
 namespace chunkcache::backend {
+
+/// Plain snapshot of the aggregation-kernel and run-I/O counters.
+struct AggKernelStats {
+  uint64_t dense_kernels = 0;      ///< Chunks aggregated by the dense kernel.
+  uint64_t hash_kernels = 0;       ///< Chunks that fell back to hashing.
+  uint64_t rows_folded_dense = 0;  ///< Rows folded by dense kernels.
+  uint64_t rows_folded_hash = 0;   ///< Rows folded by the hash fallback.
+  uint64_t coalesced_reads = 0;    ///< Merged multi-run sequential reads.
+  uint64_t single_run_reads = 0;   ///< Runs read alone (no adjacent run).
+  uint64_t runs_merged = 0;        ///< Source runs folded into merged reads.
+};
+
+/// Thread-safe counters behind AggKernelStats; chunk workers record into
+/// these concurrently, so every field is a relaxed atomic.
+struct AggKernelCounters {
+  std::atomic<uint64_t> dense_kernels{0};
+  std::atomic<uint64_t> hash_kernels{0};
+  std::atomic<uint64_t> rows_folded_dense{0};
+  std::atomic<uint64_t> rows_folded_hash{0};
+  std::atomic<uint64_t> coalesced_reads{0};
+  std::atomic<uint64_t> single_run_reads{0};
+  std::atomic<uint64_t> runs_merged{0};
+
+  AggKernelStats Snapshot() const;
+  void Reset();
+};
 
 /// Hash aggregation of fact or aggregate rows up to a target group-by
 /// level. Coordinates are packed into a mixed-radix 64-bit key over the
@@ -18,10 +47,14 @@ namespace chunkcache::backend {
 /// Rows can come from the base table (AddBase) or from an already
 /// aggregated relation at a finer group-by (AddAgg) — the latter is what
 /// the closure property and the in-cache aggregation extension rely on.
+///
+/// `reserve_cells` bounds the number of distinct cells the caller expects
+/// (e.g. a chunk's cell-box size); the map reserves that capacity up front
+/// so folding never rehashes mid-stream.
 class HashAggregator {
  public:
   HashAggregator(const chunks::ChunkingScheme* scheme,
-                 chunks::GroupBySpec target);
+                 chunks::GroupBySpec target, uint64_t reserve_cells = 0);
 
   /// Folds one base tuple into its target-level cell.
   void AddBase(const storage::Tuple& t);
@@ -36,6 +69,10 @@ class HashAggregator {
   /// Extracts the aggregated cells (unordered). Resets the aggregator.
   std::vector<storage::AggTuple> TakeRows();
 
+  /// Extracts the aggregated cells as columns (unordered). Resets the
+  /// aggregator.
+  storage::AggColumns TakeColumns();
+
  private:
   uint64_t PackKey(const chunks::ChunkCoords& coords) const;
 
@@ -44,6 +81,141 @@ class HashAggregator {
   std::array<uint64_t, storage::kMaxDims> radix_mult_{};
   std::unordered_map<uint64_t, storage::AggTuple> cells_;
   uint64_t rows_consumed_ = 0;
+};
+
+/// Dense-grid aggregation kernel for one chunk: the chunk spans a bounded
+/// cell box (the product of its per-dimension chunk-range sizes), so each
+/// cell maps to a mixed-radix offset into flat accumulator arrays and
+/// folding a row is `acc[offset] += measure` — no hashing, no per-node
+/// allocation, and extraction walks the arrays in row-major order, which
+/// is already the canonical result order.
+class DenseChunkAggregator {
+ public:
+  /// `extent[d]` is the ordinal range (at target's levels) the chunk spans
+  /// on dimension d (ChunkingScheme::ChunkExtent).
+  DenseChunkAggregator(
+      const chunks::ChunkingScheme* scheme, chunks::GroupBySpec target,
+      const std::array<schema::OrdinalRange, storage::kMaxDims>& extent);
+
+  /// Number of cells in the chunk's box (accumulator array length).
+  uint64_t num_cells() const { return num_cells_; }
+  uint64_t rows_consumed() const { return rows_consumed_; }
+
+  void AddBase(const storage::Tuple& t);
+  void AddAgg(const storage::AggTuple& row, const chunks::GroupBySpec& src);
+
+  /// Bulk kernels over columnar batches (one chunk run at a time).
+  /// `pre_filter`/`has_filter` carry base-level non-group-by predicate
+  /// ranges; pass nullptr when unfiltered.
+  void AddBaseColumns(const storage::TupleColumns& batch,
+                      const bool* has_filter,
+                      const schema::OrdinalRange* pre_filter);
+  void AddAggColumns(const storage::AggColumns& batch,
+                     const chunks::GroupBySpec& src);
+
+  /// Extracts non-empty cells in row-major coordinate order (already the
+  /// canonical sorted order). Resets the accumulators.
+  storage::AggColumns TakeColumns();
+
+ private:
+  /// Mixed-radix offset of the cell with target-level coordinate `c` on
+  /// dimension d accumulated by the caller.
+  inline uint64_t FoldOffset(const uint32_t* coords) const {
+    uint64_t off = 0;
+    for (uint32_t d = 0; d < target_.num_dims; ++d) {
+      off += static_cast<uint64_t>(coords[d] - base_[d]) * mult_[d];
+    }
+    return off;
+  }
+
+  /// One accumulator cell, interleaved so a fold touches a single cache
+  /// line instead of four parallel arrays. min/max start at +/-infinity
+  /// sentinels, so the first fold needs no occupancy branch — min(inf, m)
+  /// == m, matching AggTuple::FoldMeasure bit for bit. Empty cells are
+  /// detected via count at extraction time, so the sentinels never escape.
+  struct Cell {
+    double sum;
+    uint64_t count;
+    double min;
+    double max;
+  };
+
+  inline void FoldMeasureAt(uint64_t off, double measure) {
+    CHUNKCACHE_DCHECK(off < num_cells_);
+    Cell& c = cells_[off];
+    c.sum += measure;
+    c.count += 1;
+    // Ternaries compile to branchless min/max — the comparisons are
+    // data-dependent and would mispredict on random measures.
+    c.min = measure < c.min ? measure : c.min;
+    c.max = measure > c.max ? measure : c.max;
+  }
+
+  /// Builds per-dimension lookup tables mapping a base-level key (offset
+  /// by the chunk's base-key range start) straight to its mixed-radix
+  /// offset contribution `(ancestor - base) * mult`. Hoists the hierarchy
+  /// rollup out of the bulk row loop: AddBaseColumns becomes one table
+  /// load per dimension per row. Built lazily on the first bulk call so
+  /// the row-at-a-time paths never pay for it.
+  void BuildBaseLut();
+
+  /// Dimension-count-specialized unfiltered fold loop: with ND a compile
+  /// time constant the offset computation fully unrolls and the lookup
+  /// table pointers stay in registers.
+  template <uint32_t ND>
+  void FoldBaseRowsUnrolled(const uint32_t* const* keys,
+                            const uint64_t* const* luts, const uint32_t* los,
+                            const double* measures, size_t n);
+
+  const chunks::ChunkingScheme* scheme_;
+  chunks::GroupBySpec target_;
+  std::array<uint32_t, storage::kMaxDims> base_{};   ///< extent[d].begin
+  std::array<uint32_t, storage::kMaxDims> width_{};  ///< extent[d].size()
+  std::array<uint64_t, storage::kMaxDims> mult_{};   ///< row-major strides
+  uint64_t num_cells_ = 0;
+  uint64_t rows_consumed_ = 0;
+  std::vector<Cell> cells_;
+  /// base_lut_[d][key - lut_lo_[d]] == offset contribution of dimension d.
+  std::array<std::vector<uint64_t>, storage::kMaxDims> base_lut_;
+  std::array<uint32_t, storage::kMaxDims> lut_lo_{};
+  bool lut_built_ = false;
+};
+
+/// Per-chunk aggregation front end: picks the dense-grid kernel when the
+/// chunk's cell box is within `dense_cell_limit` and falls back to
+/// HashAggregator (with capacity reserved from the cell-box bound)
+/// otherwise, so sparse or enormous boxes never materialize huge
+/// accumulator arrays. Records kernel choice and rows folded into
+/// `counters` when non-null. TakeColumns returns rows in canonical
+/// row-major order in both modes.
+class ChunkAggregator {
+ public:
+  ChunkAggregator(const chunks::ChunkingScheme* scheme,
+                  const chunks::GroupBySpec& target, uint64_t chunk_num,
+                  uint64_t dense_cell_limit,
+                  AggKernelCounters* counters = nullptr);
+
+  bool dense() const { return dense_.has_value(); }
+  uint64_t rows_consumed() const {
+    return dense_ ? dense_->rows_consumed() : hash_->rows_consumed();
+  }
+
+  void AddBase(const storage::Tuple& t);
+  void AddAgg(const storage::AggTuple& row, const chunks::GroupBySpec& src);
+  void AddBaseColumns(const storage::TupleColumns& batch,
+                      const bool* has_filter,
+                      const schema::OrdinalRange* pre_filter);
+  void AddAggColumns(const storage::AggColumns& batch,
+                     const chunks::GroupBySpec& src);
+
+  storage::AggColumns TakeColumns();
+
+ private:
+  const chunks::ChunkingScheme* scheme_;
+  chunks::GroupBySpec target_;
+  AggKernelCounters* counters_;
+  std::optional<DenseChunkAggregator> dense_;
+  std::optional<HashAggregator> hash_;
 };
 
 /// Keeps only the rows whose coordinates fall inside `selection` on every

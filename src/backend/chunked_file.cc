@@ -7,6 +7,24 @@ namespace chunkcache::backend {
 using storage::RowId;
 using storage::Tuple;
 
+std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs) {
+  std::sort(runs.begin(), runs.end(), [](const RowRun& a, const RowRun& b) {
+    return a.first < b.first;
+  });
+  std::vector<RowRun> merged;
+  merged.reserve(runs.size());
+  for (const RowRun& r : runs) {
+    if (!merged.empty() &&
+        merged.back().first + merged.back().count == r.first) {
+      merged.back().count += r.count;
+      merged.back().chunks += r.chunks;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
 Result<ChunkedFile> ChunkedFile::BulkLoad(storage::BufferPool* pool,
                                           const chunks::ChunkingScheme* scheme,
                                           std::vector<Tuple> tuples,
@@ -61,6 +79,24 @@ Result<std::pair<RowId, uint64_t>> ChunkedFile::ChunkRun(uint64_t chunk_num) {
   auto payload = chunk_index_->Get(chunk_num);
   if (!payload.ok()) return payload.status();
   return std::make_pair(payload->v1, payload->v2);
+}
+
+Result<std::vector<RowRun>> ChunkedFile::CoalescedRuns(
+    const std::vector<uint64_t>& chunk_nums) {
+  if (!clustered_) {
+    return Status::Unsupported("CoalescedRuns on an unclustered file");
+  }
+  std::vector<RowRun> runs;
+  runs.reserve(chunk_nums.size());
+  for (uint64_t chunk_num : chunk_nums) {
+    auto payload = chunk_index_->Get(chunk_num);
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kNotFound) continue;
+      return payload.status();
+    }
+    runs.push_back(RowRun{payload->v1, payload->v2, 1});
+  }
+  return CoalesceRowRuns(std::move(runs));
 }
 
 Status ChunkedFile::ScanChunk(

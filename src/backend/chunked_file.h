@@ -13,6 +13,20 @@
 
 namespace chunkcache::backend {
 
+/// One sequential read covering the runs of one or more whole chunks.
+/// In a clustered file the runs of chunk-number-adjacent chunks sit back to
+/// back, so reading several source chunks often degenerates to a handful of
+/// long sequential ranges instead of one index probe + seek per chunk.
+struct RowRun {
+  storage::RowId first = 0;
+  uint64_t count = 0;
+  uint32_t chunks = 0;  ///< how many chunk runs this read covers
+};
+
+/// Sorts `runs` by starting row and merges back-to-back neighbours
+/// (next.first == cur.first + cur.count) into single reads.
+std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs);
+
 /// The paper's chunked file organization (Section 4): fact tuples stored as
 /// ordinary fixed-length records but *clustered by base-level chunk number*,
 /// with a B-tree chunk index mapping chunk number -> {first RowId, tuple
@@ -52,6 +66,11 @@ class ChunkedFile {
   /// on an empty chunk is not an error (zero visits).
   Status ScanChunk(uint64_t chunk_num,
                    const std::function<bool(const storage::Tuple&)>& fn);
+
+  /// Looks up the runs of every chunk in `chunk_nums` (empty chunks are
+  /// skipped) and coalesces adjacent ones into maximal sequential reads.
+  Result<std::vector<RowRun>> CoalescedRuns(
+      const std::vector<uint64_t>& chunk_nums);
 
   bool clustered() const { return clustered_; }
   uint64_t num_tuples() const { return fact_.num_tuples(); }

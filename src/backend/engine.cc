@@ -26,6 +26,21 @@ Status MaterializedAggregate::ScanChunk(
   return file_.ScanRange(run->v1, run->v2, fn);
 }
 
+Result<std::vector<RowRun>> MaterializedAggregate::CoalescedRuns(
+    const std::vector<uint64_t>& chunk_nums) {
+  std::vector<RowRun> runs;
+  runs.reserve(chunk_nums.size());
+  for (uint64_t chunk_num : chunk_nums) {
+    auto payload = chunk_index_.Get(chunk_num);
+    if (!payload.ok()) {
+      if (payload.status().code() == StatusCode::kNotFound) continue;
+      return payload.status();
+    }
+    runs.push_back(RowRun{payload->v1, payload->v2, 1});
+  }
+  return CoalesceRowRuns(std::move(runs));
+}
+
 BackendEngine::BackendEngine(storage::BufferPool* pool, ChunkedFile* file,
                              const chunks::ChunkingScheme* scheme,
                              BackendOptions options)
@@ -141,11 +156,14 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
   // Unclustered fallback: without a chunk index the backend must scan the
   // whole table once and route tuples to the requested chunks — the very
   // cost (proportional to the table, not the chunks) the chunked file
-  // organization exists to avoid. Kept for the ablation benchmarks.
+  // organization exists to avoid. Kept for the ablation benchmarks. Each
+  // requested chunk still folds through its own per-chunk kernel (dense
+  // when the cell box allows it).
   if (!file_->clustered()) {
-    std::unordered_map<uint64_t, HashAggregator> per_chunk;
+    std::unordered_map<uint64_t, ChunkAggregator> per_chunk;
     for (uint64_t chunk_num : chunk_nums) {
-      per_chunk.emplace(chunk_num, HashAggregator(scheme_, target));
+      per_chunk.try_emplace(chunk_num, scheme_, target, chunk_num,
+                            options_.dense_cell_limit, &kernel_counters_);
     }
     uint64_t visited = 0;
     CHUNKCACHE_RETURN_IF_ERROR(file_->Scan([&](RowId, const Tuple& t) {
@@ -168,8 +186,7 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
     for (uint64_t chunk_num : chunk_nums) {
       ChunkData data;
       data.chunk_num = chunk_num;
-      data.rows = per_chunk.at(chunk_num).TakeRows();
-      SortRows(&data.rows, target.num_dims);
+      data.cols = per_chunk.at(chunk_num).TakeColumns();
       out.push_back(std::move(data));
     }
     const auto scan_after = pool_->disk()->stats();
@@ -184,6 +201,14 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
   // below fans out across `executor` when one is supplied. Tuples counts
   // accumulate per worker and merge at the end; the result slot for index
   // i is fixed up front, so parallel output is bit-identical to serial.
+  //
+  // With `coalesce_io`, a worker first resolves its source chunks to runs
+  // and merges the back-to-back ones into maximal sequential reads, then
+  // bulk-decodes each read into a columnar batch for the chunk's kernel.
+  // Runs are read in ascending row order, which in a clustered file equals
+  // ascending source chunk number — the same fold order as the per-chunk
+  // path, so results stay bit-identical either way.
+  const bool* filt = non_group_by.empty() ? nullptr : has_filter.data();
   std::vector<ChunkData> out(chunk_nums.size());
   std::atomic<uint64_t> tuples_scanned{0};
   std::mutex error_mu;
@@ -193,38 +218,81 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
     auto box_or = scheme_->SourceBox(target, chunk_num, source_spec);
     Status status = box_or.status();
     if (status.ok()) {
-      HashAggregator agg(scheme_, target);
-      box_or->ForEach(scheme_->GridFor(source_spec),
-                      [&](uint64_t src_chunk, const ChunkCoords&) {
-                        if (!status.ok()) return;
-                        if (source) {
-                          status = materialized_[*source].ScanChunk(
-                              src_chunk, [&](const AggTuple& row) {
-                                agg.AddAgg(row, source_spec);
-                                return true;
-                              });
-                        } else {
-                          status = file_->ScanChunk(
-                              src_chunk, [&](const Tuple& t) {
-                                for (uint32_t d = 0; d < target.num_dims;
-                                     ++d) {
-                                  if (has_filter[d] &&
-                                      !pre_filter[d].Contains(t.keys[d])) {
-                                    return true;  // filtered out
+      ChunkAggregator agg(scheme_, target, chunk_num,
+                          options_.dense_cell_limit, &kernel_counters_);
+      if (options_.coalesce_io) {
+        std::vector<uint64_t> src_chunks;
+        box_or->ForEach(scheme_->GridFor(source_spec),
+                        [&](uint64_t src_chunk, const ChunkCoords&) {
+                          src_chunks.push_back(src_chunk);
+                        });
+        auto runs_or = source
+                           ? materialized_[*source].CoalescedRuns(src_chunks)
+                           : file_->CoalescedRuns(src_chunks);
+        status = runs_or.status();
+        if (status.ok()) {
+          storage::AggColumns agg_batch(scheme_->num_dims());
+          storage::TupleColumns base_batch;
+          base_batch.num_dims = scheme_->num_dims();
+          for (const RowRun& run : *runs_or) {
+            if (run.chunks > 1) {
+              kernel_counters_.coalesced_reads.fetch_add(
+                  1, std::memory_order_relaxed);
+              kernel_counters_.runs_merged.fetch_add(
+                  run.chunks, std::memory_order_relaxed);
+            } else {
+              kernel_counters_.single_run_reads.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            if (source) {
+              agg_batch.Clear();
+              status = materialized_[*source].file().ScanRangeColumns(
+                  run.first, run.count, &agg_batch);
+              if (!status.ok()) break;
+              agg.AddAggColumns(agg_batch, source_spec);
+            } else {
+              base_batch.Clear();
+              status = file_->fact_file().ScanRangeColumns(
+                  run.first, run.count, &base_batch);
+              if (!status.ok()) break;
+              agg.AddBaseColumns(base_batch, filt, pre_filter.data());
+            }
+          }
+        }
+      } else {
+        box_or->ForEach(scheme_->GridFor(source_spec),
+                        [&](uint64_t src_chunk, const ChunkCoords&) {
+                          if (!status.ok()) return;
+                          kernel_counters_.single_run_reads.fetch_add(
+                              1, std::memory_order_relaxed);
+                          if (source) {
+                            status = materialized_[*source].ScanChunk(
+                                src_chunk, [&](const AggTuple& row) {
+                                  agg.AddAgg(row, source_spec);
+                                  return true;
+                                });
+                          } else {
+                            status = file_->ScanChunk(
+                                src_chunk, [&](const Tuple& t) {
+                                  for (uint32_t d = 0; d < target.num_dims;
+                                       ++d) {
+                                    if (has_filter[d] &&
+                                        !pre_filter[d].Contains(t.keys[d])) {
+                                      return true;  // filtered out
+                                    }
                                   }
-                                }
-                                agg.AddBase(t);
-                                return true;
-                              });
-                        }
-                      });
+                                  agg.AddBase(t);
+                                  return true;
+                                });
+                          }
+                        });
+      }
       if (status.ok()) {
         tuples_scanned.fetch_add(agg.rows_consumed(),
                                  std::memory_order_relaxed);
         ChunkData data;
         data.chunk_num = chunk_num;
-        data.rows = agg.TakeRows();
-        SortRows(&data.rows, target.num_dims);
+        data.cols = agg.TakeColumns();
         out[i] = std::move(data);
       }
     }

@@ -18,15 +18,16 @@
 
 namespace chunkcache::backend {
 
-/// One computed chunk returned by the backend to the middle tier.
+/// One computed chunk returned by the backend to the middle tier. Rows are
+/// columnar (see storage::AggColumns) and in canonical row-major order.
 struct ChunkData {
   uint64_t chunk_num = 0;
-  std::vector<storage::AggTuple> rows;
+  storage::AggColumns cols;
 
   /// In-memory footprint, charged against the cache budget. Uses
   /// capacity(), matching what the allocator actually holds.
   uint64_t ByteSize() const {
-    return sizeof(ChunkData) + rows.capacity() * sizeof(storage::AggTuple);
+    return sizeof(ChunkData) - sizeof(storage::AggColumns) + cols.ByteSize();
   }
 };
 
@@ -52,6 +53,13 @@ class MaterializedAggregate {
   Status ScanChunk(uint64_t chunk_num,
                    const std::function<bool(const storage::AggTuple&)>& fn);
 
+  /// Looks up the runs of every chunk in `chunk_nums` (empty chunks are
+  /// skipped) and coalesces adjacent ones into maximal sequential reads.
+  Result<std::vector<RowRun>> CoalescedRuns(
+      const std::vector<uint64_t>& chunk_nums);
+
+  AggFile& file() { return file_; }
+
  private:
   chunks::GroupBySpec spec_;
   AggFile file_;
@@ -63,6 +71,18 @@ struct BackendOptions {
   /// When a star join restricts the fact table to more than this fraction
   /// of base cells, the engine prefers a full scan over the bitmap path.
   double bitmap_selectivity_threshold = 0.25;
+
+  /// Largest chunk cell box (product of per-dimension chunk-range sizes)
+  /// the dense-grid aggregation kernel will materialize accumulator arrays
+  /// for; bigger boxes fall back to hash aggregation. 1M cells = 32 MB of
+  /// accumulators per in-flight chunk.
+  uint64_t dense_cell_limit = 1ull << 20;
+
+  /// Merge the runs of adjacent source chunks into single sequential reads
+  /// when computing chunks from a clustered source. Off = one index probe
+  /// and one run scan per source chunk (the pre-coalescing behavior, kept
+  /// for ablation).
+  bool coalesce_io = true;
 };
 
 /// The relational backend ("PARADISE" stand-in): evaluates star-join
@@ -125,6 +145,16 @@ class BackendEngine {
   const chunks::ChunkingScheme& scheme() const { return *scheme_; }
   ChunkedFile& file() { return *file_; }
   storage::BufferPool& pool() { return *pool_; }
+  const BackendOptions& options() const { return options_; }
+
+  /// Aggregation-kernel and run-I/O counters (cumulative since start or
+  /// the last ResetKernelStats). Thread-safe.
+  AggKernelStats kernel_stats() const { return kernel_counters_.Snapshot(); }
+  void ResetKernelStats() { kernel_counters_.Reset(); }
+
+  /// Shared counter sink, for components (e.g. the in-cache roll-up path)
+  /// that run kernels outside the engine.
+  AggKernelCounters* kernel_counters() { return &kernel_counters_; }
 
  private:
   /// Base-level ordinal range selected on dimension d (selection mapped
@@ -151,6 +181,7 @@ class BackendEngine {
   ChunkedFile* file_;
   const chunks::ChunkingScheme* scheme_;
   BackendOptions options_;
+  AggKernelCounters kernel_counters_;
   std::vector<index::BitmapIndex> bitmap_indexes_;
   std::vector<MaterializedAggregate> materialized_;
 };

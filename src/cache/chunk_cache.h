@@ -12,6 +12,7 @@
 #include "cache/replacement.h"
 #include "chunks/group_by_spec.h"
 #include "common/status.h"
+#include "storage/agg_columns.h"
 #include "storage/tuple.h"
 
 namespace chunkcache::cache {
@@ -26,14 +27,18 @@ struct CachedChunk {
   uint64_t chunk_num = 0;
   uint64_t filter_hash = 0;
   double benefit = 0;
-  std::vector<storage::AggTuple> rows;
+  /// Columnar rows in canonical row-major order. Only the group-by's
+  /// active dimensions have coordinate columns, so the cache no longer
+  /// charges for kMaxDims padding per row.
+  storage::AggColumns cols;
 
-  /// Heap footprint charged against the cache budget. Charges the vector's
+  /// Heap footprint charged against the cache budget. Charges column
   /// capacity(), not size(): the allocator really holds capacity() slots,
   /// and budgeting by size() would let slack capacity silently exceed the
   /// configured cache size.
   uint64_t ByteSize() const {
-    return sizeof(CachedChunk) + rows.capacity() * sizeof(storage::AggTuple);
+    return sizeof(CachedChunk) - sizeof(storage::AggColumns) +
+           cols.ByteSize();
   }
 };
 
@@ -74,6 +79,17 @@ struct ChunkCacheStats {
   uint64_t exec_queue_peak = 0;
   uint64_t exec_steal_queue_depth = 0;
   uint64_t async_prefetched_chunks = 0;
+
+  // Aggregation-kernel and run-I/O counters, filled by
+  // ChunkCacheManager::StatsSnapshot from the backend engine; zero when
+  // read straight off a ChunkCache.
+  uint64_t dense_kernels = 0;
+  uint64_t hash_kernels = 0;
+  uint64_t rows_folded_dense = 0;
+  uint64_t rows_folded_hash = 0;
+  uint64_t coalesced_reads = 0;
+  uint64_t single_run_reads = 0;
+  uint64_t runs_merged = 0;
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from

@@ -42,6 +42,14 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   }
   s.async_prefetched_chunks =
       async_prefetched_.load(std::memory_order_relaxed);
+  const backend::AggKernelStats ks = engine_->kernel_stats();
+  s.dense_kernels = ks.dense_kernels;
+  s.hash_kernels = ks.hash_kernels;
+  s.rows_folded_dense = ks.rows_folded_dense;
+  s.rows_folded_hash = ks.rows_folded_hash;
+  s.coalesced_reads = ks.coalesced_reads;
+  s.single_run_reads = ks.single_run_reads;
+  s.runs_merged = ks.runs_merged;
   return s;
 }
 
@@ -106,7 +114,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       auto aggregated =
           TryInCacheAggregation(query.group_by, num, filter_hash);
       if (aggregated) {
-        rows.insert(rows.end(), aggregated->begin(), aggregated->end());
+        aggregated->AppendToRows(&rows);
         ++stats->chunks_from_aggregation;
         // Admit the derived chunk so the next query gets a direct hit.
         cache::CachedChunk entry;
@@ -114,7 +122,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
         entry.chunk_num = num;
         entry.filter_hash = filter_hash;
         entry.benefit = benefit;
-        entry.rows = std::move(*aggregated);
+        entry.cols = std::move(*aggregated);
         cache_.Insert(std::move(entry));
       } else {
         still_missing.push_back(num);
@@ -131,11 +139,9 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   std::vector<AggTuple> hit_rows;
   const auto assemble_hits = [&] {
     size_t total = 0;
-    for (const auto& h : cached) total += h->rows.size();
+    for (const auto& h : cached) total += h->cols.size();
     hit_rows.reserve(total);
-    for (const auto& h : cached) {
-      hit_rows.insert(hit_rows.end(), h->rows.begin(), h->rows.end());
-    }
+    for (const auto& h : cached) h->cols.AppendToRows(&hit_rows);
   };
   Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
   const bool overlap = pool_ != nullptr && !missing.empty() &&
@@ -164,13 +170,13 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
               std::make_move_iterator(hit_rows.end()));
   stats->chunks_from_backend = computed->size();
   for (ChunkData& data : *computed) {
-    rows.insert(rows.end(), data.rows.begin(), data.rows.end());
+    data.cols.AppendToRows(&rows);
     cache::CachedChunk entry;
     entry.group_by_id = gb_id;
     entry.chunk_num = data.chunk_num;
     entry.filter_hash = filter_hash;
     entry.benefit = benefit;
-    entry.rows = std::move(data.rows);
+    entry.cols = std::move(data.cols);
     cache_.Insert(std::move(entry));
   }
 
@@ -215,7 +221,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
               entry.chunk_num = data.chunk_num;
               entry.filter_hash = filter_hash;
               entry.benefit = plan.benefit;
-              entry.rows = std::move(data.rows);
+              entry.cols = std::move(data.cols);
               cache_.Insert(std::move(entry));
               async_prefetched_.fetch_add(1, std::memory_order_relaxed);
             }
@@ -231,7 +237,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   return rows;
 }
 
-std::optional<std::vector<AggTuple>> ChunkCacheManager::TryInCacheAggregation(
+std::optional<storage::AggColumns> ChunkCacheManager::TryInCacheAggregation(
     const GroupBySpec& target, uint64_t chunk_num, uint64_t filter_hash) {
   const chunks::ChunkingScheme& scheme = engine_->scheme();
   // Candidate source group-bys: any strictly finer group-by that has
@@ -257,14 +263,15 @@ std::optional<std::vector<AggTuple>> ChunkCacheManager::TryInCacheAggregation(
       sources.push_back(std::move(h));
     });
     if (!all_present) continue;
-    // Aggregate the pinned chunks.
-    backend::HashAggregator agg(&scheme, target);
+    // Aggregate the pinned chunks through the per-chunk kernel dispatch
+    // (dense grid when the target chunk's cell box is small enough).
+    backend::ChunkAggregator agg(&scheme, target, chunk_num,
+                                 engine_->options().dense_cell_limit,
+                                 engine_->kernel_counters());
     for (const cache::ChunkHandle& chunk : sources) {
-      for (const AggTuple& row : chunk->rows) agg.AddAgg(row, src);
+      agg.AddAggColumns(chunk->cols, src);
     }
-    std::vector<AggTuple> rows = agg.TakeRows();
-    backend::SortRows(&rows, target.num_dims);
-    return rows;
+    return agg.TakeColumns();  // already canonical order
   }
   return std::nullopt;
 }
@@ -318,7 +325,7 @@ Status ChunkCacheManager::PrefetchInline(
     entry.chunk_num = data.chunk_num;
     entry.filter_hash = filter_hash;
     entry.benefit = plan.benefit;
-    entry.rows = std::move(data.rows);
+    entry.cols = std::move(data.cols);
     cache_.Insert(std::move(entry));
     ++stats->prefetched_chunks;
   }

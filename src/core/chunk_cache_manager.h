@@ -98,8 +98,11 @@ class ChunkCacheManager final : public MiddleTier {
   };
 
   /// Tries to build the missing chunk by aggregating finer chunks already
-  /// in the cache; returns the rows or nullopt.
-  std::optional<std::vector<storage::AggTuple>> TryInCacheAggregation(
+  /// in the cache; returns the columnar rows (canonical order) or nullopt.
+  /// The roll-up runs through the same per-chunk kernel dispatch as the
+  /// backend (dense grid when the chunk's cell box allows), recorded in
+  /// the engine's kernel counters.
+  std::optional<storage::AggColumns> TryInCacheAggregation(
       const chunks::GroupBySpec& target, uint64_t chunk_num,
       uint64_t filter_hash);
 

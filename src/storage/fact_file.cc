@@ -91,6 +91,41 @@ Status FactFile::ScanRange(RowId first, uint64_t count,
   return Status::OK();
 }
 
+Status FactFile::ScanRangeColumns(RowId first, uint64_t count,
+                                  TupleColumns* out) {
+  if (first > num_tuples_) {
+    return Status::OutOfRange("FactFile::ScanRangeColumns: start beyond EOF");
+  }
+  const RowId end = std::min<RowId>(first + count, num_tuples_);
+  if (first >= end) return Status::OK();
+  out->num_dims = desc_.num_dims;
+  out->Reserve(out->size() + static_cast<size_t>(end - first));
+  const uint32_t record_size = desc_.RecordSize();
+  RowId rid = first;
+  while (rid < end) {
+    const uint32_t page_no = PageOfRow(rid);
+    CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                                pool_->Fetch(PageId{file_id_, page_no}));
+    const uint8_t* base = guard.page()->data.data();
+    const RowId page_first =
+        static_cast<RowId>(page_no - 1) * tuples_per_page_;
+    const RowId page_end = std::min<RowId>(page_first + tuples_per_page_, end);
+    for (; rid < page_end; ++rid) {
+      const uint8_t* rec =
+          base + static_cast<uint32_t>(rid - page_first) * record_size;
+      for (uint32_t d = 0; d < desc_.num_dims; ++d) {
+        uint32_t key;
+        std::memcpy(&key, rec + d * 4, 4);
+        out->keys[d].push_back(key);
+      }
+      double measure;
+      std::memcpy(&measure, rec + desc_.num_dims * 4, 8);
+      out->measure.push_back(measure);
+    }
+  }
+  return Status::OK();
+}
+
 Status FactFile::FetchRows(const std::vector<RowId>& rids,
                            std::vector<Tuple>* out) {
   out->clear();

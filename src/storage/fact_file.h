@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/agg_columns.h"
 #include "storage/buffer_pool.h"
 #include "storage/tuple.h"
 
@@ -49,6 +50,12 @@ class FactFile {
   Status Scan(const std::function<bool(RowId, const Tuple&)>& fn) {
     return ScanRange(0, num_tuples_, fn);
   }
+
+  /// Bulk-decodes tuples with rid in [first, first + count) into `*out`,
+  /// *appending* to its columns (callers accumulate several coalesced
+  /// chunk runs into one batch). One pin and one tight decode loop per
+  /// touched page — the columnar feed of the dense aggregation kernels.
+  Status ScanRangeColumns(RowId first, uint64_t count, TupleColumns* out);
 
   /// Fetches the tuples whose RowIds are listed in `rids` (ascending order
   /// recommended). Consecutive rids on one page cost a single page access —

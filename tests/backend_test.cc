@@ -378,12 +378,13 @@ TEST_F(BackendFixture, ComputeChunksReconstructsFullGroupBy) {
   for (const auto& c : *data) {
     // Every row must lie within its chunk's extent.
     auto extent = scheme_->ChunkExtent(gb, c.chunk_num);
-    for (const auto& r : c.rows) {
+    for (size_t i = 0; i < c.cols.size(); ++i) {
+      const AggTuple r = c.cols.RowAt(i);
       for (uint32_t d = 0; d < 4; ++d) {
         EXPECT_TRUE(extent[d].Contains(r.coords[d]));
       }
     }
-    rows.insert(rows.end(), c.rows.begin(), c.rows.end());
+    c.cols.AppendToRows(&rows);
   }
   SortRows(&rows, 4);
   ExpectRowsEqual(rows, Naive(FullQuery(gb)), 4);
@@ -456,9 +457,7 @@ TEST_F(BackendFixture, NonGroupByPredicateFiltersBeforeAggregation) {
   auto data = engine_->ComputeChunks(q.group_by, nums, q.non_group_by, &w2);
   ASSERT_TRUE(data.ok());
   std::vector<AggTuple> all;
-  for (const auto& c : *data) {
-    all.insert(all.end(), c.rows.begin(), c.rows.end());
-  }
+  for (const auto& c : *data) c.cols.AppendToRows(&all);
   SortRows(&all, 4);
   ExpectRowsEqual(all, Naive(q), 4);
 }
@@ -498,9 +497,7 @@ TEST_F(BackendFixture, MaterializedAggregateServesCoarserChunks) {
   auto data = engine_->ComputeChunks(coarse, nums, {}, &with_mat);
   ASSERT_TRUE(data.ok());
   std::vector<AggTuple> rows;
-  for (const auto& c : *data) {
-    rows.insert(rows.end(), c.rows.begin(), c.rows.end());
-  }
+  for (const auto& c : *data) c.cols.AppendToRows(&rows);
   SortRows(&rows, 4);
   ExpectRowsEqual(rows, Naive(FullQuery(coarse)), 4);
 
@@ -564,7 +561,7 @@ TEST_F(BackendFixture, ComputeChunksEmptyListAndEmptyChunk) {
       auto data = engine_->ComputeChunks(gb, {c}, {}, &work);
       ASSERT_TRUE(data.ok());
       ASSERT_EQ(data->size(), 1u);
-      EXPECT_TRUE((*data)[0].rows.empty());
+      EXPECT_TRUE((*data)[0].cols.empty());
       return;
     }
   }

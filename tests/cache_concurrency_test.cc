@@ -42,12 +42,11 @@ CachedChunk MakeChunk(uint32_t gb, uint64_t chunk_num, size_t num_rows,
   c.group_by_id = gb;
   c.chunk_num = chunk_num;
   c.benefit = benefit;
-  c.rows.resize(num_rows);
+  c.cols = storage::AggColumns(2);
   for (size_t i = 0; i < num_rows; ++i) {
-    c.rows[i].coords[0] = gb;
-    c.rows[i].coords[1] = static_cast<uint32_t>(chunk_num);
-    c.rows[i].sum = static_cast<double>(gb) * 1000 + chunk_num;
-    c.rows[i].count = i + 1;
+    const uint32_t coords[2] = {gb, static_cast<uint32_t>(chunk_num)};
+    c.cols.PushCell(coords, static_cast<double>(gb) * 1000 + chunk_num,
+                    i + 1, 0.0, 0.0);
   }
   return c;
 }
@@ -69,8 +68,8 @@ bool RowsEqual(const std::vector<backend::ResultRow>& a,
 
 void ExpectChunkConsistent(const ChunkHandle& h) {
   ASSERT_NE(h, nullptr);
-  for (size_t i = 0; i < h->rows.size(); ++i) {
-    const AggTuple& row = h->rows[i];
+  for (size_t i = 0; i < h->cols.size(); ++i) {
+    const AggTuple row = h->cols.RowAt(i);
     ASSERT_EQ(row.coords[0], h->group_by_id);
     ASSERT_EQ(row.coords[1], static_cast<uint32_t>(h->chunk_num));
     ASSERT_DOUBLE_EQ(row.sum,
@@ -187,15 +186,15 @@ TEST(CacheConcurrencyTest, HandleSurvivesEvictionUnderLookup) {
 
   // The pinned handle still reads the original data.
   ExpectChunkConsistent(pinned);
-  EXPECT_EQ(pinned->rows.size(), 8u);
+  EXPECT_EQ(pinned->cols.size(), 8u);
 
   // Replacing the same key mints a fresh object; the old pin is untouched.
   cache.Insert(MakeChunk(1, 7, 3));
   ChunkHandle fresh = cache.Lookup(1, 7, 0);
   ASSERT_NE(fresh, nullptr);
   EXPECT_NE(fresh.get(), pinned.get());
-  EXPECT_EQ(pinned->rows.size(), 8u);
-  EXPECT_EQ(fresh->rows.size(), 3u);
+  EXPECT_EQ(pinned->cols.size(), 8u);
+  EXPECT_EQ(fresh->cols.size(), 3u);
 }
 
 TEST(CacheConcurrencyTest, ReadersValidateWhileWriterEvicts) {
@@ -267,10 +266,10 @@ class PipelineFixture : public ::testing::Test {
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
       ASSERT_EQ(a[i].chunk_num, b[i].chunk_num) << "chunk slot " << i;
-      ASSERT_EQ(a[i].rows.size(), b[i].rows.size()) << "chunk " << i;
-      for (size_t r = 0; r < a[i].rows.size(); ++r) {
-        const AggTuple& x = a[i].rows[r];
-        const AggTuple& y = b[i].rows[r];
+      ASSERT_EQ(a[i].cols.size(), b[i].cols.size()) << "chunk " << i;
+      for (size_t r = 0; r < a[i].cols.size(); ++r) {
+        const AggTuple x = a[i].cols.RowAt(r);
+        const AggTuple y = b[i].cols.RowAt(r);
         ASSERT_EQ(x.coords, y.coords) << "chunk " << i << " row " << r;
         ASSERT_DOUBLE_EQ(x.sum, y.sum) << "chunk " << i << " row " << r;
         ASSERT_EQ(x.count, y.count) << "chunk " << i << " row " << r;

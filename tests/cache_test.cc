@@ -124,11 +124,10 @@ CachedChunk MakeChunk(uint32_t gb, uint64_t num, uint64_t filter,
   c.chunk_num = num;
   c.filter_hash = filter;
   c.benefit = benefit;
-  c.rows.resize(rows);
+  c.cols = storage::AggColumns(1);
   for (size_t i = 0; i < rows; ++i) {
-    c.rows[i].coords[0] = static_cast<uint32_t>(i);
-    c.rows[i].sum = static_cast<double>(num);
-    c.rows[i].count = 1;
+    const uint32_t coord = static_cast<uint32_t>(i);
+    c.cols.PushCell(&coord, static_cast<double>(num), 1, 0.0, 0.0);
   }
   return c;
 }
@@ -139,8 +138,8 @@ TEST(ChunkCacheTest, InsertLookupMiss) {
   cache.Insert(MakeChunk(1, 5, 0, 1.0, 10));
   const ChunkHandle hit = cache.Lookup(1, 5, 0);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->rows.size(), 10u);
-  EXPECT_DOUBLE_EQ(hit->rows[0].sum, 5.0);
+  EXPECT_EQ(hit->cols.size(), 10u);
+  EXPECT_DOUBLE_EQ(hit->cols.sums()[0], 5.0);
   EXPECT_EQ(cache.Lookup(1, 6, 0), nullptr);
   EXPECT_EQ(cache.Lookup(2, 5, 0), nullptr);
   EXPECT_EQ(cache.stats().lookups, 4u);
@@ -155,8 +154,8 @@ TEST(ChunkCacheTest, FilterHashIsolatesEntries) {
   const ChunkHandle filtered = cache.Lookup(1, 5, 777);
   ASSERT_NE(unfiltered, nullptr);
   ASSERT_NE(filtered, nullptr);
-  EXPECT_EQ(unfiltered->rows.size(), 4u);
-  EXPECT_EQ(filtered->rows.size(), 9u);
+  EXPECT_EQ(unfiltered->cols.size(), 4u);
+  EXPECT_EQ(filtered->cols.size(), 9u);
   EXPECT_EQ(cache.num_chunks(), 2u);
 }
 
@@ -165,11 +164,11 @@ TEST(ChunkCacheTest, ReinsertReplaces) {
   cache.Insert(MakeChunk(1, 5, 0, 1.0, 4));
   cache.Insert(MakeChunk(1, 5, 0, 1.0, 8));
   EXPECT_EQ(cache.num_chunks(), 1u);
-  EXPECT_EQ(cache.Lookup(1, 5, 0)->rows.size(), 8u);
+  EXPECT_EQ(cache.Lookup(1, 5, 0)->cols.size(), 8u);
 }
 
 TEST(ChunkCacheTest, EvictsWhenOverBudget) {
-  // Each 10-row chunk is sizeof(CachedChunk) + 10*sizeof(AggTuple) bytes.
+  // Every 10-row chunk from MakeChunk has the same columnar byte size.
   const uint64_t entry_bytes = MakeChunk(1, 0, 0, 1.0, 10).ByteSize();
   ChunkCache cache(entry_bytes * 3, MakePolicy("lru"));
   for (uint64_t i = 0; i < 5; ++i) {

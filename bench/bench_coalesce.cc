@@ -1,0 +1,249 @@
+// Measures cross-query miss coalescing under duplicate-miss storms.
+//
+// Two storm shapes, each run as a series of cold-cache waves in which 16
+// client threads fire concurrently at one ChunkCacheManager:
+//   1. identical    — every thread runs the same query, the worst case for
+//                     duplicated backend work;
+//   2. overlapping  — threads run one of three variants of a base query
+//                     (full range plus its two halves), so chunk sets
+//                     partially overlap.
+// Both shapes run with miss coalescing on and off (the ablation flag);
+// everything else — engine, buffer pool, worker pool size — is identical.
+// Reports throughput, the speedup of on over off, and the coalescing
+// counters (waits, shared-scan batches, backend chunk computations).
+//
+// Results go to stdout as a table AND to BENCH_coalesce.json (machine
+// readable; CI validates its schema). Honors CHUNKCACHE_BENCH_SCALE via
+// ExperimentConfig::FromEnv like the other benches.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/star_join_query.h"
+#include "bench/common/experiment.h"
+#include "core/chunk_cache_manager.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache::bench {
+namespace {
+
+using backend::StarJoinQuery;
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using core::QueryStats;
+
+constexpr int kThreads = 16;
+constexpr int kWaves = 6;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic base queries, one per wave: generated queries needing at
+/// least four chunks (storms over a single chunk would only measure the
+/// cache's own hit path).
+std::vector<StarJoinQuery> PickWaveQueries(System* sys) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 31;
+  workload::QueryGenerator gen(&sys->schema(), wopts);
+  std::vector<StarJoinQuery> picked;
+  for (int i = 0; i < 4096 && picked.size() < kWaves; ++i) {
+    StarJoinQuery q = gen.Next();
+    const auto box = sys->scheme().BoxForSelection(q.group_by, q.selection);
+    if (box.NumChunks() >= 4) picked.push_back(std::move(q));
+  }
+  return picked;
+}
+
+/// The per-thread query for a wave: the base query in identical mode; in
+/// overlapping mode threads alternate between the full range and its two
+/// halves on the first splittable dimension.
+StarJoinQuery VariantFor(const StarJoinQuery& base, bool overlapping,
+                         int thread_idx) {
+  if (!overlapping) return base;
+  for (uint32_t d = 0; d < base.group_by.num_dims; ++d) {
+    const auto& r = base.selection[d];
+    if (r.end > r.begin) {
+      const uint32_t mid = r.begin + (r.end - r.begin) / 2;
+      StarJoinQuery q = base;
+      switch (thread_idx % 3) {
+        case 0:
+          break;  // full range
+        case 1:
+          q.selection[d].end = mid;
+          break;
+        case 2:
+          q.selection[d].begin = mid;
+          break;
+      }
+      return q;
+    }
+  }
+  return base;
+}
+
+struct StormResult {
+  double qps = 0;
+  uint64_t errors = 0;
+  uint64_t backend_chunks = 0;  ///< chunk computations (kernel tally delta)
+  uint64_t coalesced_waits = 0;
+  uint64_t dedup_saved = 0;
+  uint64_t shared_scan_batches = 0;
+  uint64_t shared_scan_requests = 0;
+  uint64_t queue_depth_hwm = 0;
+  uint64_t inflight_peak = 0;
+};
+
+/// Runs kWaves cold-cache waves of kThreads concurrent queries against a
+/// fresh manager and returns throughput plus the coalescing counters.
+StormResult RunStorm(System* sys, const std::vector<StarJoinQuery>& waves,
+                     bool overlapping, bool coalescing_on) {
+  ChunkManagerOptions opts;
+  opts.num_workers = 8;
+  opts.cache_shards = 16;
+  opts.enable_miss_coalescing = coalescing_on;
+  ChunkCacheManager mgr(&sys->engine(), opts);
+  sys->engine().ResetKernelStats();
+
+  StormResult res;
+  std::atomic<uint64_t> errors{0};
+  double busy_ms = 0;
+  for (const StarJoinQuery& base : waves) {
+    mgr.chunk_cache().Clear();  // every wave starts with a cold chunk cache
+    const double t0 = NowMs();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const StarJoinQuery q = VariantFor(base, overlapping, t);
+        QueryStats st;
+        if (!mgr.Execute(q, &st).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    busy_ms += NowMs() - t0;
+  }
+  res.errors = errors.load();
+  res.qps = busy_ms > 0
+                ? 1000.0 * static_cast<double>(kWaves) * kThreads / busy_ms
+                : 0;
+  const backend::AggKernelStats ks = sys->engine().kernel_stats();
+  res.backend_chunks = ks.dense_kernels + ks.hash_kernels;
+  const cache::ChunkCacheStats cs = mgr.StatsSnapshot();
+  res.coalesced_waits = cs.coalesced_waits;
+  res.dedup_saved = cs.dedup_saved_chunks;
+  res.shared_scan_batches = cs.shared_scan_batches;
+  res.shared_scan_requests = cs.shared_scan_requests;
+  res.queue_depth_hwm = cs.scan_queue_depth_hwm;
+  res.inflight_peak = cs.inflight_peak;
+  return res;
+}
+
+void PrintShape(const char* name, const StormResult& on,
+                const StormResult& off) {
+  const double speedup = off.qps > 0 ? on.qps / off.qps : 0;
+  std::printf("%-12s %10.0f %10.0f %8.2fx %10llu %10llu %8llu %8llu\n", name,
+              on.qps, off.qps, speedup,
+              static_cast<unsigned long long>(on.backend_chunks),
+              static_cast<unsigned long long>(off.backend_chunks),
+              static_cast<unsigned long long>(on.coalesced_waits),
+              static_cast<unsigned long long>(on.shared_scan_batches));
+}
+
+void JsonShape(std::FILE* out, const char* name, const StormResult& on,
+               const StormResult& off, bool last) {
+  const double speedup = off.qps > 0 ? on.qps / off.qps : 0;
+  std::fprintf(
+      out,
+      "  \"%s\": {\"on_qps\": %.1f, \"off_qps\": %.1f, \"speedup\": %.3f, "
+      "\"on_backend_chunks\": %llu, \"off_backend_chunks\": %llu, "
+      "\"coalesced_waits\": %llu, \"dedup_saved_chunks\": %llu, "
+      "\"shared_scan_batches\": %llu, \"shared_scan_requests\": %llu, "
+      "\"queue_depth_hwm\": %llu, \"inflight_peak\": %llu, "
+      "\"errors\": %llu}%s\n",
+      name, on.qps, off.qps, speedup,
+      static_cast<unsigned long long>(on.backend_chunks),
+      static_cast<unsigned long long>(off.backend_chunks),
+      static_cast<unsigned long long>(on.coalesced_waits),
+      static_cast<unsigned long long>(on.dedup_saved),
+      static_cast<unsigned long long>(on.shared_scan_batches),
+      static_cast<unsigned long long>(on.shared_scan_requests),
+      static_cast<unsigned long long>(on.queue_depth_hwm),
+      static_cast<unsigned long long>(on.inflight_peak),
+      static_cast<unsigned long long>(on.errors + off.errors),
+      last ? "" : ",");
+}
+
+Status Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  PrintSetup(config,
+             "Miss coalescing: 16-thread duplicate-miss storms, on vs off");
+  CHUNKCACHE_ASSIGN_OR_RETURN(std::unique_ptr<System> sys,
+                              System::Build(config));
+  const std::vector<StarJoinQuery> waves = PickWaveQueries(sys.get());
+  if (waves.size() < kWaves) {
+    return Status::Internal("not enough multi-chunk queries generated");
+  }
+
+  // One warmup wave populates the buffer pool so both configurations read
+  // from the same warm backend (the chunk cache itself stays cold).
+  RunStorm(sys.get(), {waves[0]}, /*overlapping=*/false,
+           /*coalescing_on=*/true);
+
+  std::printf("%-12s %10s %10s %9s %10s %10s %8s %8s\n", "storm", "on q/s",
+              "off q/s", "speedup", "on chunks", "off chunk", "waits",
+              "batches");
+  const StormResult ident_on =
+      RunStorm(sys.get(), waves, /*overlapping=*/false, /*coalescing_on=*/true);
+  const StormResult ident_off = RunStorm(sys.get(), waves,
+                                         /*overlapping=*/false,
+                                         /*coalescing_on=*/false);
+  PrintShape("identical", ident_on, ident_off);
+  const StormResult over_on =
+      RunStorm(sys.get(), waves, /*overlapping=*/true, /*coalescing_on=*/true);
+  const StormResult over_off =
+      RunStorm(sys.get(), waves, /*overlapping=*/true, /*coalescing_on=*/false);
+  PrintShape("overlapping", over_on, over_off);
+
+  std::FILE* out = std::fopen("BENCH_coalesce.json", "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot write BENCH_coalesce.json");
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"coalesce\",\n  \"num_tuples\": %llu,\n"
+               "  \"threads\": %d,\n  \"waves\": %d,\n",
+               static_cast<unsigned long long>(config.num_tuples), kThreads,
+               kWaves);
+  JsonShape(out, "identical", ident_on, ident_off, /*last=*/false);
+  JsonShape(out, "overlapping", over_on, over_off, /*last=*/true);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_coalesce.json\n");
+
+  const double speedup =
+      ident_off.qps > 0 ? ident_on.qps / ident_off.qps : 0;
+  std::printf("identical-storm speedup: %.2fx (target >= 2x at full scale)\n",
+              speedup);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace chunkcache::bench
+
+int main() {
+  const chunkcache::Status s = chunkcache::bench::Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_coalesce failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -92,6 +92,9 @@ ConfigResult RunConfig(System* sys,
   r.p50_ms = Percentile(&merged, 0.50);
   r.p95_ms = Percentile(&merged, 0.95);
   r.errors = errors.load();
+  // Background prefetch tasks also touch the cache; drain them so the
+  // contention snapshot covers the whole configuration's work.
+  mgr.DrainPrefetch();
   r.contention_ns = mgr.StatsSnapshot().contention_ns;
   return r;
 }

@@ -160,6 +160,16 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.coalesced_reads,
                   (unsigned long long)cs.single_run_reads,
                   (unsigned long long)cs.runs_merged);
+      std::printf("coalescing: waits=%llu dedup saved=%llu prefetch "
+                  "dropped=%llu inflight peak=%llu\n",
+                  (unsigned long long)cs.coalesced_waits,
+                  (unsigned long long)cs.dedup_saved_chunks,
+                  (unsigned long long)cs.prefetch_dropped_inflight,
+                  (unsigned long long)cs.inflight_peak);
+      std::printf("shared scans: batches=%llu requests=%llu queue hwm=%llu\n",
+                  (unsigned long long)cs.shared_scan_batches,
+                  (unsigned long long)cs.shared_scan_requests,
+                  (unsigned long long)cs.scan_queue_depth_hwm);
       continue;
     }
     if (line == ".reset") {

@@ -7,7 +7,8 @@ namespace chunkcache::backend {
 using storage::RowId;
 using storage::Tuple;
 
-std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs) {
+std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs,
+                                    uint64_t max_rows) {
   std::sort(runs.begin(), runs.end(), [](const RowRun& a, const RowRun& b) {
     return a.first < b.first;
   });
@@ -15,7 +16,8 @@ std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs) {
   merged.reserve(runs.size());
   for (const RowRun& r : runs) {
     if (!merged.empty() &&
-        merged.back().first + merged.back().count == r.first) {
+        merged.back().first + merged.back().count == r.first &&
+        (max_rows == 0 || merged.back().count + r.count <= max_rows)) {
       merged.back().count += r.count;
       merged.back().chunks += r.chunks;
     } else {
@@ -82,7 +84,7 @@ Result<std::pair<RowId, uint64_t>> ChunkedFile::ChunkRun(uint64_t chunk_num) {
 }
 
 Result<std::vector<RowRun>> ChunkedFile::CoalescedRuns(
-    const std::vector<uint64_t>& chunk_nums) {
+    const std::vector<uint64_t>& chunk_nums, uint64_t max_rows) {
   if (!clustered_) {
     return Status::Unsupported("CoalescedRuns on an unclustered file");
   }
@@ -96,7 +98,7 @@ Result<std::vector<RowRun>> ChunkedFile::CoalescedRuns(
     }
     runs.push_back(RowRun{payload->v1, payload->v2, 1});
   }
-  return CoalesceRowRuns(std::move(runs));
+  return CoalesceRowRuns(std::move(runs), max_rows);
 }
 
 Status ChunkedFile::ScanChunk(

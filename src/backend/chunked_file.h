@@ -24,8 +24,13 @@ struct RowRun {
 };
 
 /// Sorts `runs` by starting row and merges back-to-back neighbours
-/// (next.first == cur.first + cur.count) into single reads.
-std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs);
+/// (next.first == cur.first + cur.count) into single reads. `max_rows`
+/// caps one merged read's row count (0 = unlimited): readers materialize a
+/// whole run as one columnar batch, so shared scans spanning many chunks
+/// need the cap to bound per-read memory. A split lands on a run boundary,
+/// so row order — and therefore fold order — is unchanged.
+std::vector<RowRun> CoalesceRowRuns(std::vector<RowRun> runs,
+                                    uint64_t max_rows = 0);
 
 /// The paper's chunked file organization (Section 4): fact tuples stored as
 /// ordinary fixed-length records but *clustered by base-level chunk number*,
@@ -68,9 +73,10 @@ class ChunkedFile {
                    const std::function<bool(const storage::Tuple&)>& fn);
 
   /// Looks up the runs of every chunk in `chunk_nums` (empty chunks are
-  /// skipped) and coalesces adjacent ones into maximal sequential reads.
+  /// skipped) and coalesces adjacent ones into maximal sequential reads of
+  /// at most `max_rows` rows each (0 = unlimited).
   Result<std::vector<RowRun>> CoalescedRuns(
-      const std::vector<uint64_t>& chunk_nums);
+      const std::vector<uint64_t>& chunk_nums, uint64_t max_rows = 0);
 
   bool clustered() const { return clustered_; }
   uint64_t num_tuples() const { return fact_.num_tuples(); }

@@ -27,7 +27,7 @@ Status MaterializedAggregate::ScanChunk(
 }
 
 Result<std::vector<RowRun>> MaterializedAggregate::CoalescedRuns(
-    const std::vector<uint64_t>& chunk_nums) {
+    const std::vector<uint64_t>& chunk_nums, uint64_t max_rows) {
   std::vector<RowRun> runs;
   runs.reserve(chunk_nums.size());
   for (uint64_t chunk_num : chunk_nums) {
@@ -38,7 +38,7 @@ Result<std::vector<RowRun>> MaterializedAggregate::CoalescedRuns(
     }
     runs.push_back(RowRun{payload->v1, payload->v2, 1});
   }
-  return CoalesceRowRuns(std::move(runs));
+  return CoalesceRowRuns(std::move(runs), max_rows);
 }
 
 BackendEngine::BackendEngine(storage::BufferPool* pool, ChunkedFile* file,
@@ -186,6 +186,7 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
     for (uint64_t chunk_num : chunk_nums) {
       ChunkData data;
       data.chunk_num = chunk_num;
+      data.source_rows = per_chunk.at(chunk_num).rows_consumed();
       data.cols = per_chunk.at(chunk_num).TakeColumns();
       out.push_back(std::move(data));
     }
@@ -226,9 +227,11 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
                         [&](uint64_t src_chunk, const ChunkCoords&) {
                           src_chunks.push_back(src_chunk);
                         });
-        auto runs_or = source
-                           ? materialized_[*source].CoalescedRuns(src_chunks)
-                           : file_->CoalescedRuns(src_chunks);
+        auto runs_or =
+            source ? materialized_[*source].CoalescedRuns(
+                         src_chunks, options_.max_merged_run_rows)
+                   : file_->CoalescedRuns(src_chunks,
+                                          options_.max_merged_run_rows);
         status = runs_or.status();
         if (status.ok()) {
           storage::AggColumns agg_batch(scheme_->num_dims());
@@ -292,6 +295,7 @@ Result<std::vector<ChunkData>> BackendEngine::ComputeChunks(
                                  std::memory_order_relaxed);
         ChunkData data;
         data.chunk_num = chunk_num;
+        data.source_rows = agg.rows_consumed();
         data.cols = agg.TakeColumns();
         out[i] = std::move(data);
       }

@@ -24,6 +24,11 @@ struct ChunkData {
   uint64_t chunk_num = 0;
   storage::AggColumns cols;
 
+  /// Source rows folded to produce this chunk. Lets the shared-scan
+  /// scheduler attribute one merged scan's work back to the individual
+  /// requesters chunk by chunk.
+  uint64_t source_rows = 0;
+
   /// In-memory footprint, charged against the cache budget. Uses
   /// capacity(), matching what the allocator actually holds.
   uint64_t ByteSize() const {
@@ -54,9 +59,10 @@ class MaterializedAggregate {
                    const std::function<bool(const storage::AggTuple&)>& fn);
 
   /// Looks up the runs of every chunk in `chunk_nums` (empty chunks are
-  /// skipped) and coalesces adjacent ones into maximal sequential reads.
+  /// skipped) and coalesces adjacent ones into maximal sequential reads of
+  /// at most `max_rows` rows each (0 = unlimited).
   Result<std::vector<RowRun>> CoalescedRuns(
-      const std::vector<uint64_t>& chunk_nums);
+      const std::vector<uint64_t>& chunk_nums, uint64_t max_rows = 0);
 
   AggFile& file() { return file_; }
 
@@ -83,6 +89,13 @@ struct BackendOptions {
   /// and one run scan per source chunk (the pre-coalescing behavior, kept
   /// for ablation).
   bool coalesce_io = true;
+
+  /// Largest merged read, in source rows (0 = unlimited). Each read is
+  /// bulk-decoded into one columnar batch, so this bounds the batch's
+  /// memory even when a shared scan unions the source runs of many
+  /// requested chunks. Splits land on run boundaries, preserving fold
+  /// order. 1M rows ~= 32 MB of fact columns per in-flight read.
+  uint64_t max_merged_run_rows = 1ull << 20;
 };
 
 /// The relational backend ("PARADISE" stand-in): evaluates star-join

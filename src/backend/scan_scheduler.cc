@@ -1,0 +1,200 @@
+#include "backend/scan_scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace chunkcache::backend {
+
+ScanScheduler::ScanScheduler(BackendEngine* engine,
+                             ScanSchedulerOptions options)
+    : engine_(engine), options_(options) {
+  CHUNKCACHE_CHECK(engine_ != nullptr);
+  options_.max_outstanding_scans =
+      std::max<uint32_t>(1, options_.max_outstanding_scans);
+  options_.max_queue_depth = std::max<uint32_t>(1, options_.max_queue_depth);
+}
+
+std::shared_ptr<ScanScheduler::Batch> ScanScheduler::FindJoinableLocked(
+    const chunks::GroupBySpec& target,
+    const std::vector<NonGroupByPredicate>& preds) {
+  for (const auto& b : open_) {
+    if (!b->closed && b->target == target && b->preds == preds) return b;
+  }
+  return nullptr;
+}
+
+void ScanScheduler::DistributeLocked(Batch* batch,
+                                     const std::vector<uint64_t>& union_nums,
+                                     std::vector<ChunkData>* out,
+                                     const WorkCounters& batch_work) {
+  std::unordered_map<uint64_t, size_t> slot;
+  slot.reserve(union_nums.size());
+  for (size_t i = 0; i < union_nums.size(); ++i) slot[union_nums[i]] = i;
+
+  // How many requests reference each chunk (with the coalescing layer in
+  // front of the scheduler the sets are disjoint, but standalone callers
+  // may overlap), and each request's exact tuple share — computed before
+  // any ChunkData is moved out.
+  std::unordered_map<uint64_t, uint32_t> refs;
+  refs.reserve(union_nums.size());
+  uint64_t total_rows = 0;
+  for (const ChunkData& d : *out) total_rows += d.source_rows;
+  std::vector<uint64_t> req_rows(batch->requests.size(), 0);
+  for (size_t r = 0; r < batch->requests.size(); ++r) {
+    for (uint64_t c : *batch->requests[r]->chunks) {
+      ++refs[c];
+      req_rows[r] += (*out)[slot.at(c)].source_rows;
+    }
+  }
+
+  uint64_t pages_read_left = batch_work.pages_read;
+  uint64_t pages_written_left = batch_work.pages_written;
+  for (size_t r = 0; r < batch->requests.size(); ++r) {
+    Request* req = batch->requests[r];
+    req->result.reserve(req->chunks->size());
+    for (uint64_t c : *req->chunks) {
+      ChunkData& src = (*out)[slot.at(c)];
+      if (--refs.at(c) == 0) {
+        req->result.push_back(std::move(src));
+      } else {
+        ChunkData copy;
+        copy.chunk_num = src.chunk_num;
+        copy.source_rows = src.source_rows;
+        copy.cols = src.cols;
+        req->result.push_back(std::move(copy));
+      }
+    }
+    req->work.tuples_processed = req_rows[r];
+    // Physical pages were read once for the whole merged scan; charge each
+    // requester its row-proportional share, remainder to the leader
+    // (request 0) so the totals stay exact. A single-request batch gets
+    // everything — identical to a direct engine call.
+    uint64_t pr;
+    uint64_t pw;
+    if (total_rows == 0) {
+      pr = r == 0 ? batch_work.pages_read : 0;
+      pw = r == 0 ? batch_work.pages_written : 0;
+    } else if (r + 1 == batch->requests.size()) {
+      pr = pages_read_left;
+      pw = pages_written_left;
+    } else {
+      pr = batch_work.pages_read * req_rows[r] / total_rows;
+      pw = batch_work.pages_written * req_rows[r] / total_rows;
+    }
+    pr = std::min(pr, pages_read_left);
+    pw = std::min(pw, pages_written_left);
+    pages_read_left -= pr;
+    pages_written_left -= pw;
+    req->work.pages_read = pr;
+    req->work.pages_written = pw;
+  }
+  // Any remainder (rounding) goes to the leader.
+  batch->requests[0]->work.pages_read += pages_read_left;
+  batch->requests[0]->work.pages_written += pages_written_left;
+}
+
+Result<std::vector<ChunkData>> ScanScheduler::Compute(
+    const chunks::GroupBySpec& target,
+    const std::vector<uint64_t>& chunk_nums,
+    const std::vector<NonGroupByPredicate>& non_group_by, WorkCounters* work,
+    ThreadPool* executor) {
+  if (chunk_nums.empty()) return std::vector<ChunkData>{};
+  CHUNKCACHE_CHECK(work != nullptr);
+
+  Request req;
+  req.chunks = &chunk_nums;
+  std::shared_ptr<Batch> batch;
+  std::vector<uint64_t> union_nums;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.requests;
+    batch = FindJoinableLocked(target, non_group_by);
+    if (batch == nullptr) {
+      // Back-pressure: creating a new batch needs room in the open queue.
+      // A joinable batch may appear while we wait, so re-probe after.
+      cv_.wait(lock, [&] { return open_.size() < options_.max_queue_depth; });
+      batch = FindJoinableLocked(target, non_group_by);
+    }
+    if (batch != nullptr) {
+      batch->requests.push_back(&req);
+      ++stats_.merged_requests;
+    } else {
+      batch = std::make_shared<Batch>();
+      batch->target = target;
+      batch->preds = non_group_by;
+      batch->requests.push_back(&req);
+      open_.push_back(batch);
+      stats_.queue_depth_hwm =
+          std::max<uint64_t>(stats_.queue_depth_hwm, open_.size());
+      leader = true;
+
+      // Admission: the batch stays open (joinable) until a scan slot
+      // frees up — this is where a storm turns into batching.
+      cv_.wait(lock,
+               [&] { return outstanding_ < options_.max_outstanding_scans; });
+      ++outstanding_;
+      stats_.outstanding_hwm =
+          std::max<uint64_t>(stats_.outstanding_hwm, outstanding_);
+      batch->closed = true;
+      open_.remove(batch);
+      ++stats_.batches;
+      // Union of every requester's chunks, deduped and ascending — the
+      // order that maximizes run merging in the engine.
+      for (const Request* r : batch->requests) {
+        union_nums.insert(union_nums.end(), r->chunks->begin(),
+                          r->chunks->end());
+      }
+      std::sort(union_nums.begin(), union_nums.end());
+      union_nums.erase(std::unique(union_nums.begin(), union_nums.end()),
+                       union_nums.end());
+    }
+  }
+
+  if (leader) {
+    // Wake queue-depth waiters (the batch left the open queue) before the
+    // potentially long scan.
+    cv_.notify_all();
+    WorkCounters batch_work;
+    auto out = engine_->ComputeChunks(batch->target, union_nums, batch->preds,
+                                      &batch_work, executor);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (out.ok()) {
+        DistributeLocked(batch.get(), union_nums, &*out, batch_work);
+      } else {
+        batch->status = out.status();
+      }
+      batch->finished = true;
+    }
+    cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return batch->finished; });
+  }
+
+  if (!batch->status.ok()) return batch->status;
+  *work += req.work;
+  return std::move(req.result);
+}
+
+ScanSchedulerStats ScanScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScanSchedulerStats s = stats_;
+  s.outstanding_scans = outstanding_;
+  s.queue_depth = open_.size();
+  return s;
+}
+
+void ScanScheduler::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t outstanding = outstanding_;
+  stats_ = ScanSchedulerStats{};
+  stats_.outstanding_scans = outstanding;
+  stats_.queue_depth = open_.size();
+}
+
+}  // namespace chunkcache::backend

@@ -1,0 +1,134 @@
+#ifndef CHUNKCACHE_BACKEND_SCAN_SCHEDULER_H_
+#define CHUNKCACHE_BACKEND_SCAN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "backend/engine.h"
+#include "backend/star_join_query.h"
+#include "chunks/group_by_spec.h"
+#include "common/cost_model.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace chunkcache::backend {
+
+/// Tuning knobs for the shared-scan scheduler.
+struct ScanSchedulerOptions {
+  /// Concurrent ComputeChunks invocations the scheduler lets through.
+  /// Further batches queue; their requesters keep joining the open batch,
+  /// so a storm degrades to bigger batches instead of more disk traffic.
+  uint32_t max_outstanding_scans = 2;
+
+  /// Open batches (leaders waiting for a scan slot) allowed at once.
+  /// Creating a new batch past this bound blocks until a leader drains —
+  /// back-pressure, not rejection.
+  uint32_t max_queue_depth = 16;
+};
+
+/// Scheduler counters. `outstanding_scans` and `queue_depth` are the
+/// current values (for polling in tests); the rest are cumulative.
+struct ScanSchedulerStats {
+  uint64_t requests = 0;         ///< Compute calls routed through.
+  uint64_t merged_requests = 0;  ///< Calls that joined an existing batch.
+  uint64_t batches = 0;          ///< Backend scans actually issued.
+  uint64_t queue_depth_hwm = 0;
+  uint64_t outstanding_hwm = 0;
+  uint64_t outstanding_scans = 0;
+  uint64_t queue_depth = 0;
+};
+
+/// Merges concurrent miss batches that target the same (group-by,
+/// predicates) into one backend scan whose coalesced runs span every
+/// requester's chunks, with bounded admission.
+///
+/// Protocol: the first requester of a (group-by, predicate) key opens a
+/// *batch* and becomes its leader; while the leader waits for one of
+/// `max_outstanding_scans` scan slots, concurrent same-key requesters join
+/// the open batch. Once admitted, the leader closes the batch, unions the
+/// chunk lists (deduped, ascending — maximizing run coalescing in the
+/// engine), runs one ComputeChunks over the union, and distributes results
+/// and work back to each requester. Followers block until their batch
+/// finishes; a batch error propagates to every requester.
+///
+/// Work attribution: each requester is charged the source rows its own
+/// chunks folded (exact — ChunkData::source_rows partitions the scan) and
+/// a proportional share of the batch's physical pages; single-request
+/// batches therefore see exactly the counters a direct engine call would
+/// produce.
+///
+/// Deadlock safety: leaders block only on scan slots, which are held only
+/// for the duration of an engine call that always completes (ParallelFor
+/// keeps the calling thread participating); followers block only on their
+/// leader. No thread waits while holding a slot it isn't using.
+class ScanScheduler {
+ public:
+  ScanScheduler(BackendEngine* engine, ScanSchedulerOptions options);
+
+  ScanScheduler(const ScanScheduler&) = delete;
+  ScanScheduler& operator=(const ScanScheduler&) = delete;
+
+  /// Computes `chunk_nums` of `target` under `non_group_by`, possibly as
+  /// part of a merged batch. Blocking. Element i of the result is
+  /// chunk_nums[i], bit-identical to a direct ComputeChunks call. This
+  /// request's work share is added to `*work`. `executor` is used only if
+  /// this call ends up leading its batch.
+  Result<std::vector<ChunkData>> Compute(
+      const chunks::GroupBySpec& target,
+      const std::vector<uint64_t>& chunk_nums,
+      const std::vector<NonGroupByPredicate>& non_group_by,
+      WorkCounters* work, ThreadPool* executor = nullptr);
+
+  ScanSchedulerStats stats() const;
+  void ResetStats();
+
+  const ScanSchedulerOptions& options() const { return options_; }
+
+ private:
+  /// One requester's slice of a batch. Lives on the caller's stack — the
+  /// caller blocks until its batch finishes, so the pointer stays valid.
+  struct Request {
+    const std::vector<uint64_t>* chunks = nullptr;
+    std::vector<ChunkData> result;
+    WorkCounters work;
+  };
+
+  struct Batch {
+    chunks::GroupBySpec target;
+    std::vector<NonGroupByPredicate> preds;
+    std::vector<Request*> requests;
+    bool closed = false;    ///< Leader admitted; no more joins.
+    bool finished = false;  ///< Results/error distributed.
+    Status status = Status::OK();
+  };
+
+  /// Caller holds mu_. Finds an open (joinable) batch for the key.
+  std::shared_ptr<Batch> FindJoinableLocked(
+      const chunks::GroupBySpec& target,
+      const std::vector<NonGroupByPredicate>& preds);
+
+  /// Caller holds mu_. Splits the batch's union results back into each
+  /// request's result vector (moving on the last reference) and attributes
+  /// the batch's work counters.
+  static void DistributeLocked(Batch* batch,
+                               const std::vector<uint64_t>& union_nums,
+                               std::vector<ChunkData>* out,
+                               const WorkCounters& batch_work);
+
+  BackendEngine* engine_;
+  ScanSchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<std::shared_ptr<Batch>> open_;
+  uint32_t outstanding_ = 0;
+  ScanSchedulerStats stats_;
+};
+
+}  // namespace chunkcache::backend
+
+#endif  // CHUNKCACHE_BACKEND_SCAN_SCHEDULER_H_

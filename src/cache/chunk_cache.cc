@@ -99,9 +99,14 @@ void ChunkCache::EraseLocked(Shard& s, uint64_t handle) {
 }
 
 void ChunkCache::Insert(CachedChunk chunk) {
-  const Key key{chunk.group_by_id, chunk.chunk_num, chunk.filter_hash};
+  Insert(std::make_shared<CachedChunk>(std::move(chunk)));
+}
+
+void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
+  CHUNKCACHE_CHECK(chunk != nullptr);
+  const Key key{chunk->group_by_id, chunk->chunk_num, chunk->filter_hash};
   Shard& s = ShardFor(key);
-  const uint64_t bytes = chunk.ByteSize();
+  const uint64_t bytes = chunk->ByteSize();
   auto lock = LockShard(s);
   if (bytes > s.capacity_bytes) {
     ++s.rejected;
@@ -113,7 +118,7 @@ void ChunkCache::Insert(CachedChunk chunk) {
 
   // Evict until the newcomer fits.
   while (s.bytes_used + bytes > s.capacity_bytes) {
-    auto victim = s.policy->PickVictim(chunk.benefit);
+    auto victim = s.policy->PickVictim(chunk->benefit);
     if (!victim) break;  // empty shard; nothing to evict
     EraseLocked(s, *victim);
     ++s.evictions;
@@ -123,12 +128,11 @@ void ChunkCache::Insert(CachedChunk chunk) {
     return;
   }
   const uint64_t handle = s.next_handle++;
-  s.policy->OnInsert(handle, chunk.benefit);
-  s.per_group_by[chunk.group_by_id]++;
+  s.policy->OnInsert(handle, chunk->benefit);
+  s.per_group_by[chunk->group_by_id]++;
   s.by_key[key] = handle;
   s.bytes_used += bytes;
-  s.by_handle.emplace(handle,
-                      std::make_shared<CachedChunk>(std::move(chunk)));
+  s.by_handle.emplace(handle, std::move(chunk));
   ++s.insertions;
 }
 

@@ -48,6 +48,35 @@ struct CachedChunk {
 /// Null on a miss.
 using ChunkHandle = std::shared_ptr<const CachedChunk>;
 
+/// The cache's key triple, public so the miss-coalescing layer can key its
+/// in-flight table on exactly the identity the cache uses.
+struct ChunkKey {
+  uint32_t group_by_id = 0;
+  uint64_t chunk_num = 0;
+  uint64_t filter_hash = 0;
+  friend bool operator==(const ChunkKey& a, const ChunkKey& b) {
+    return a.group_by_id == b.group_by_id && a.chunk_num == b.chunk_num &&
+           a.filter_hash == b.filter_hash;
+  }
+};
+
+struct ChunkKeyHash {
+  // Full-avalanche finalizer (murmur3 fmix64): consecutive chunk numbers
+  // — the common access pattern, since query boxes enumerate chunks in
+  // row-major order — must spread across shards, so every input bit has
+  // to reach the low bits used by ShardFor.
+  size_t operator()(const ChunkKey& k) const {
+    uint64_t x = k.chunk_num * 0x9E3779B97F4A7C15ULL;
+    x ^= (static_cast<uint64_t>(k.group_by_id) << 32) ^ k.filter_hash;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
 /// Per-shard counters, reported inside ChunkCacheStats so callers can see
 /// hash skew and per-shard hit rates.
 struct ChunkShardStats {
@@ -90,6 +119,17 @@ struct ChunkCacheStats {
   uint64_t coalesced_reads = 0;
   uint64_t single_run_reads = 0;
   uint64_t runs_merged = 0;
+
+  // Miss-coalescing counters, filled by ChunkCacheManager::StatsSnapshot
+  // from the in-flight table and the shared-scan scheduler; zero when read
+  // straight off a ChunkCache.
+  uint64_t coalesced_waits = 0;       ///< Misses that waited on an owner.
+  uint64_t dedup_saved_chunks = 0;    ///< Computations avoided (waits+drops).
+  uint64_t prefetch_dropped_inflight = 0;  ///< Prefetch chunks already pending.
+  uint64_t inflight_peak = 0;         ///< In-flight table high-water mark.
+  uint64_t shared_scan_batches = 0;   ///< Backend scans issued by the scheduler.
+  uint64_t shared_scan_requests = 0;  ///< Miss batches routed through it.
+  uint64_t scan_queue_depth_hwm = 0;  ///< Open-batch queue high-water mark.
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from
@@ -137,6 +177,12 @@ class ChunkCache {
   /// Re-inserting an existing key replaces the old rows.
   void Insert(CachedChunk chunk);
 
+  /// Shared-ownership insert: stores `chunk` without copying its rows, so
+  /// the miss-coalescing layer can hand the very same allocation to the
+  /// cache and to every waiter's ChunkHandle. Same admission/eviction
+  /// semantics as the by-value overload.
+  void Insert(std::shared_ptr<CachedChunk> chunk);
+
   /// Drops everything.
   void Clear();
 
@@ -156,31 +202,8 @@ class ChunkCache {
   uint64_t CountForGroupBy(uint32_t group_by_id) const;
 
  private:
-  struct Key {
-    uint32_t group_by_id;
-    uint64_t chunk_num;
-    uint64_t filter_hash;
-    friend bool operator==(const Key& a, const Key& b) {
-      return a.group_by_id == b.group_by_id && a.chunk_num == b.chunk_num &&
-             a.filter_hash == b.filter_hash;
-    }
-  };
-  struct KeyHash {
-    // Full-avalanche finalizer (murmur3 fmix64): consecutive chunk numbers
-    // — the common access pattern, since query boxes enumerate chunks in
-    // row-major order — must spread across shards, so every input bit has
-    // to reach the low bits used by ShardFor.
-    size_t operator()(const Key& k) const {
-      uint64_t x = k.chunk_num * 0x9E3779B97F4A7C15ULL;
-      x ^= (static_cast<uint64_t>(k.group_by_id) << 32) ^ k.filter_hash;
-      x ^= x >> 33;
-      x *= 0xFF51AFD7ED558CCDULL;
-      x ^= x >> 33;
-      x *= 0xC4CEB9FE1A85EC53ULL;
-      x ^= x >> 33;
-      return static_cast<size_t>(x);
-    }
-  };
+  using Key = ChunkKey;
+  using KeyHash = ChunkKeyHash;
 
   struct Shard {
     mutable std::mutex mu;

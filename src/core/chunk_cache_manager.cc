@@ -11,6 +11,7 @@ using backend::ChunkData;
 using backend::NonGroupByPredicate;
 using backend::ResultRow;
 using backend::StarJoinQuery;
+using cache::ChunkKey;
 using chunks::ChunkBox;
 using chunks::ChunkCoords;
 using chunks::GroupBySpec;
@@ -24,6 +25,15 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
              std::max<uint32_t>(1, options_.cache_shards)) {
   if (options_.num_workers > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+  if (options_.enable_miss_coalescing) {
+    backend::ScanSchedulerOptions sopts;
+    sopts.max_outstanding_scans =
+        options_.scan_max_outstanding != 0
+            ? options_.scan_max_outstanding
+            : std::max<uint32_t>(2, options_.num_workers);
+    sopts.max_queue_depth = options_.scan_max_queue_depth;
+    scheduler_ = std::make_unique<backend::ScanScheduler>(engine_, sopts);
   }
 }
 
@@ -50,6 +60,17 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   s.coalesced_reads = ks.coalesced_reads;
   s.single_run_reads = ks.single_run_reads;
   s.runs_merged = ks.runs_merged;
+  s.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
+  s.prefetch_dropped_inflight =
+      prefetch_dropped_.load(std::memory_order_relaxed);
+  s.dedup_saved_chunks = s.coalesced_waits + s.prefetch_dropped_inflight;
+  s.inflight_peak = inflight_.peak();
+  if (scheduler_ != nullptr) {
+    const backend::ScanSchedulerStats ss = scheduler_->stats();
+    s.shared_scan_batches = ss.batches;
+    s.shared_scan_requests = ss.requests;
+    s.scan_queue_depth_hwm = ss.queue_depth_hwm;
+  }
   return s;
 }
 
@@ -79,6 +100,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   const uint32_t gb_id = scheme.GroupById(query.group_by);
   const uint64_t filter_hash = FilterHash(query.non_group_by);
   const double benefit = scheme.ChunkBenefit(query.group_by);
+  const bool coalesce = options_.enable_miss_coalescing;
 
   // 1. Query analysis: chunk numbers needed (Section 5.2.2).
   const ChunkBox box = scheme.BoxForSelection(query.group_by, query.selection);
@@ -93,49 +115,107 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
 
   // 2. Query splitting: CNumsPresent / CNumsMissing (Section 5.2.3). Hits
   // come back as pinned handles, so concurrent inserts or evictions by
-  // other clients cannot invalidate them before assembly.
+  // other clients cannot invalidate them before assembly. With miss
+  // coalescing, each miss is then claimed through the in-flight table:
+  // this query either *owns* the chunk (it computes and publishes it) or
+  // *waits* on whichever in-flight query already owns it.
+  struct Miss {
+    uint64_t chunk_num = 0;
+    Inflight::SlotPtr slot;  // null when coalescing is off
+  };
   std::vector<AggTuple> rows;
   std::vector<cache::ChunkHandle> cached;
-  std::vector<uint64_t> missing;
+  std::vector<Miss> owned;
+  std::vector<Miss> waits;
   for (uint64_t num : needed) {
     cache::ChunkHandle hit = cache_.Lookup(gb_id, num, filter_hash);
     if (hit != nullptr) {
       cached.push_back(std::move(hit));
       ++stats->chunks_from_cache;
+      continue;
+    }
+    if (!coalesce) {
+      owned.push_back(Miss{num, nullptr});
+      continue;
+    }
+    const ChunkKey key{gb_id, num, filter_hash};
+    Inflight::Claim claim = inflight_.Acquire(key);
+    if (!claim.owner) {
+      waits.push_back(Miss{num, std::move(claim.slot)});
+      continue;
+    }
+    // The previous owner may have published (insert + retire) between our
+    // lookup miss and the claim; re-probe so an already cached chunk is
+    // never recomputed. Contains first — the common no-race case stays a
+    // statistics-free probe.
+    cache::ChunkHandle raced;
+    if (cache_.Contains(gb_id, num, filter_hash)) {
+      raced = cache_.Lookup(gb_id, num, filter_hash);
+    }
+    if (raced != nullptr) {
+      inflight_.Publish(key, claim.slot, raced);
+      cached.push_back(std::move(raced));
+      ++stats->chunks_from_cache;
     } else {
-      missing.push_back(num);
+      owned.push_back(Miss{num, std::move(claim.slot)});
     }
   }
 
-  // 3. Optional middle-tier aggregation of finer cached chunks (paper §7).
-  if (options_.enable_in_cache_aggregation && !missing.empty()) {
-    std::vector<uint64_t> still_missing;
-    for (uint64_t num : missing) {
-      auto aggregated =
-          TryInCacheAggregation(query.group_by, num, filter_hash);
-      if (aggregated) {
-        aggregated->AppendToRows(&rows);
-        ++stats->chunks_from_aggregation;
-        // Admit the derived chunk so the next query gets a direct hit.
-        cache::CachedChunk entry;
-        entry.group_by_id = gb_id;
-        entry.chunk_num = num;
-        entry.filter_hash = filter_hash;
-        entry.benefit = benefit;
-        entry.cols = std::move(*aggregated);
-        cache_.Insert(std::move(entry));
-      } else {
-        still_missing.push_back(num);
+  // Every owned slot must be resolved exactly once on every path out of
+  // this function; on error the slots fail, waking waiters with the error
+  // and retiring the entries so a retry recomputes.
+  auto fail_unresolved = [&](const Status& s) {
+    for (Miss& om : owned) {
+      if (om.slot != nullptr) {
+        inflight_.Fail(ChunkKey{gb_id, om.chunk_num, filter_hash}, om.slot,
+                       s);
+        om.slot = nullptr;
       }
     }
-    missing = std::move(still_missing);
+  };
+
+  // 3. Optional middle-tier aggregation of finer cached chunks (paper §7).
+  // Runs only for chunks this query owns, so it can never duplicate a
+  // computation already in flight elsewhere.
+  if (options_.enable_in_cache_aggregation && !owned.empty()) {
+    std::vector<Miss> still_owned;
+    for (Miss& om : owned) {
+      auto aggregated =
+          TryInCacheAggregation(query.group_by, om.chunk_num, filter_hash);
+      if (aggregated) {
+        auto entry = std::make_shared<cache::CachedChunk>();
+        entry->group_by_id = gb_id;
+        entry->chunk_num = om.chunk_num;
+        entry->filter_hash = filter_hash;
+        entry->benefit = benefit;
+        entry->cols = std::move(*aggregated);
+        entry->cols.AppendToRows(&rows);
+        ++stats->chunks_from_aggregation;
+        // Admit the derived chunk so the next query gets a direct hit;
+        // publish the same allocation to any waiters.
+        cache::ChunkHandle handle = entry;
+        cache_.Insert(std::move(entry));
+        if (om.slot != nullptr) {
+          inflight_.Publish(ChunkKey{gb_id, om.chunk_num, filter_hash},
+                            om.slot, std::move(handle));
+        }
+      } else {
+        still_owned.push_back(std::move(om));
+      }
+    }
+    owned = std::move(still_owned);
   }
 
-  // 4. Compute the remaining misses at the backend and admit them,
-  // overlapping cache-hit assembly with the backend work: a pool task
-  // copies the pinned hit rows while this thread drives ComputeChunks
-  // (which itself fans out across the same pool). Worker tasks never
-  // block on other tasks, so the overlap cannot deadlock.
+  // 4. Compute the owned misses — through the shared-scan scheduler when
+  // coalescing is on, so concurrent same-group-by miss batches merge into
+  // one scan — overlapping cache-hit assembly with the backend work: a
+  // pool task copies the pinned hit rows while this thread drives the
+  // computation (which itself fans out across the same pool). Worker
+  // tasks never block on other tasks, so the overlap cannot deadlock.
+  std::vector<uint64_t> owned_nums;
+  owned_nums.reserve(owned.size());
+  for (const Miss& om : owned) owned_nums.push_back(om.chunk_num);
+
   std::vector<AggTuple> hit_rows;
   const auto assemble_hits = [&] {
     size_t total = 0;
@@ -143,8 +223,18 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     hit_rows.reserve(total);
     for (const auto& h : cached) h->cols.AppendToRows(&hit_rows);
   };
+  const auto compute_owned = [&]() -> Result<std::vector<ChunkData>> {
+    if (scheduler_ != nullptr) {
+      return scheduler_->Compute(query.group_by, owned_nums,
+                                 query.non_group_by, &stats->backend_work,
+                                 pool_.get());
+    }
+    return engine_->ComputeChunks(query.group_by, owned_nums,
+                                  query.non_group_by, &stats->backend_work,
+                                  pool_.get());
+  };
   Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
-  const bool overlap = pool_ != nullptr && !missing.empty() &&
+  const bool overlap = pool_ != nullptr && !owned_nums.empty() &&
                        !cached.empty() && !ThreadPool::InWorkerThread();
   if (overlap) {
     WaitGroup wg;
@@ -153,31 +243,51 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       assemble_hits();
       wg.Done();
     });
-    computed = engine_->ComputeChunks(query.group_by, missing,
-                                      query.non_group_by,
-                                      &stats->backend_work, pool_.get());
+    computed = compute_owned();
     wg.Wait();
   } else {
     assemble_hits();
-    if (!missing.empty()) {
-      computed = engine_->ComputeChunks(query.group_by, missing,
-                                        query.non_group_by,
-                                        &stats->backend_work, pool_.get());
+    if (!owned_nums.empty()) computed = compute_owned();
+  }
+  if (!computed.ok()) {
+    fail_unresolved(computed.status());
+    return computed.status();
+  }
+  stats->chunks_from_backend = computed->size();
+  for (size_t i = 0; i < computed->size(); ++i) {
+    ChunkData& data = (*computed)[i];
+    auto entry = std::make_shared<cache::CachedChunk>();
+    entry->group_by_id = gb_id;
+    entry->chunk_num = data.chunk_num;
+    entry->filter_hash = filter_hash;
+    entry->benefit = benefit;
+    entry->cols = std::move(data.cols);
+    entry->cols.AppendToRows(&rows);
+    cache::ChunkHandle handle = entry;
+    cache_.Insert(std::move(entry));
+    // Insert before Publish: a claimant that re-probes after the entry
+    // retires must find the chunk in the cache.
+    if (owned[i].slot != nullptr) {
+      inflight_.Publish(ChunkKey{gb_id, data.chunk_num, filter_hash},
+                        owned[i].slot, std::move(handle));
+      owned[i].slot = nullptr;
     }
   }
-  CHUNKCACHE_RETURN_IF_ERROR(computed.status());
   rows.insert(rows.end(), std::make_move_iterator(hit_rows.begin()),
               std::make_move_iterator(hit_rows.end()));
-  stats->chunks_from_backend = computed->size();
-  for (ChunkData& data : *computed) {
-    data.cols.AppendToRows(&rows);
-    cache::CachedChunk entry;
-    entry.group_by_id = gb_id;
-    entry.chunk_num = data.chunk_num;
-    entry.filter_hash = filter_hash;
-    entry.benefit = benefit;
-    entry.cols = std::move(data.cols);
-    cache_.Insert(std::move(entry));
+
+  // 4b. Collect the chunks other in-flight queries computed for us. Every
+  // chunk this query owned is already published, so blocking here cannot
+  // deadlock even when two queries wait on each other's chunks.
+  for (const Miss& wm : waits) {
+    Result<cache::ChunkHandle> res = wm.slot->Wait();
+    if (!res.ok()) return res.status();
+    (*res)->cols.AppendToRows(&rows);
+    ++stats->coalesced_waits;
+  }
+  if (stats->coalesced_waits != 0) {
+    coalesced_waits_.fetch_add(stats->coalesced_waits,
+                               std::memory_order_relaxed);
   }
 
   // 5. Post-processing: trim boundary extras, canonical order.
@@ -185,12 +295,14 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
                              query.selection);
   backend::SortRows(&rows, query.group_by.num_dims);
 
-  stats->full_cache_hit = missing.empty() && stats->chunks_from_backend == 0;
+  stats->full_cache_hit = owned_nums.empty() && waits.empty() &&
+                          stats->chunks_from_backend == 0;
   stats->saved_fraction =
       stats->chunks_needed == 0
           ? 0.0
           : static_cast<double>(stats->chunks_from_cache +
-                                stats->chunks_from_aggregation) /
+                                stats->chunks_from_aggregation +
+                                stats->coalesced_waits) /
                 static_cast<double>(stats->chunks_needed);
   stats->modeled_ms = options_.cost_model.Cost(
       stats->backend_work.pages_read, stats->backend_work.pages_written,
@@ -200,7 +312,8 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   // forget: the task computes and admits the child chunks in the
   // background and is only observable through DrainPrefetch and the
   // async_prefetched_chunks counter. Serially, run inline and charge
-  // stats->prefetch_work as before.
+  // stats->prefetch_work as before. Either way the fetches go through the
+  // in-flight table, so background work never duplicates foreground work.
   if (options_.enable_drill_down_prefetch) {
     CHUNKCACHE_ASSIGN_OR_RETURN(std::optional<PrefetchPlan> plan,
                                 PlanDrillDown(query, needed, filter_hash));
@@ -209,28 +322,21 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
         prefetch_wg_.Add(1);
         pool_->Submit([this, plan = std::move(*plan),
                        preds = query.non_group_by, filter_hash] {
+          // Errors are dropped — prefetch is best-effort (RunPrefetch has
+          // already failed the owned slots by the time it reports).
           WorkCounters work;
-          // Serial inside the worker (nested fan-out would tie up the
-          // pool); errors are dropped — prefetch is best-effort.
-          auto fetched = engine_->ComputeChunks(plan.drill, plan.to_fetch,
-                                                preds, &work);
+          auto fetched = RunPrefetch(plan, preds, filter_hash, &work);
           if (fetched.ok()) {
-            for (ChunkData& data : *fetched) {
-              cache::CachedChunk entry;
-              entry.group_by_id = plan.drill_id;
-              entry.chunk_num = data.chunk_num;
-              entry.filter_hash = filter_hash;
-              entry.benefit = plan.benefit;
-              entry.cols = std::move(data.cols);
-              cache_.Insert(std::move(entry));
-              async_prefetched_.fetch_add(1, std::memory_order_relaxed);
-            }
+            async_prefetched_.fetch_add(*fetched, std::memory_order_relaxed);
           }
           prefetch_wg_.Done();
         });
       } else {
-        CHUNKCACHE_RETURN_IF_ERROR(
-            PrefetchInline(*plan, query.non_group_by, filter_hash, stats));
+        CHUNKCACHE_ASSIGN_OR_RETURN(
+            uint64_t fetched,
+            RunPrefetch(*plan, query.non_group_by, filter_hash,
+                        &stats->prefetch_work));
+        stats->prefetched_chunks += fetched;
       }
     }
   }
@@ -303,33 +409,88 @@ ChunkCacheManager::PlanDrillDown(const StarJoinQuery& query,
     if (!box.ok()) return box.status();
     box->ForEach(drill_grid, [&](uint64_t child, const ChunkCoords&) {
       if (plan.to_fetch.size() >= options_.prefetch_budget_chunks) return;
-      if (!cache_.Contains(plan.drill_id, child, filter_hash)) {
-        plan.to_fetch.push_back(child);
+      if (cache_.Contains(plan.drill_id, child, filter_hash)) return;
+      // A chunk some in-flight query is already computing would be a
+      // duplicate by the time we fetched it — drop it now.
+      if (options_.enable_miss_coalescing &&
+          inflight_.Pending(ChunkKey{plan.drill_id, child, filter_hash})) {
+        prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
+      plan.to_fetch.push_back(child);
     });
   }
   if (plan.to_fetch.empty()) return std::optional<PrefetchPlan>();
   return std::optional<PrefetchPlan>(std::move(plan));
 }
 
-Status ChunkCacheManager::PrefetchInline(
+Result<uint64_t> ChunkCacheManager::RunPrefetch(
     const PrefetchPlan& plan, const std::vector<NonGroupByPredicate>& preds,
-    uint64_t filter_hash, QueryStats* stats) {
-  CHUNKCACHE_ASSIGN_OR_RETURN(
-      std::vector<ChunkData> computed,
-      engine_->ComputeChunks(plan.drill, plan.to_fetch, preds,
-                             &stats->prefetch_work));
-  for (ChunkData& data : computed) {
-    cache::CachedChunk entry;
-    entry.group_by_id = plan.drill_id;
-    entry.chunk_num = data.chunk_num;
-    entry.filter_hash = filter_hash;
-    entry.benefit = plan.benefit;
-    entry.cols = std::move(data.cols);
-    cache_.Insert(std::move(entry));
-    ++stats->prefetched_chunks;
+    uint64_t filter_hash, WorkCounters* work) {
+  const bool coalesce = options_.enable_miss_coalescing;
+  // Claim each chunk; whatever is already owned elsewhere is dropped —
+  // prefetch is best-effort, so it never blocks on foreground work.
+  std::vector<uint64_t> to_fetch;
+  std::vector<Inflight::SlotPtr> slots;
+  to_fetch.reserve(plan.to_fetch.size());
+  slots.reserve(plan.to_fetch.size());
+  for (uint64_t num : plan.to_fetch) {
+    if (!coalesce) {
+      to_fetch.push_back(num);
+      slots.push_back(nullptr);
+      continue;
+    }
+    const ChunkKey key{plan.drill_id, num, filter_hash};
+    Inflight::Claim claim = inflight_.Acquire(key);
+    if (!claim.owner) {
+      prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Published-and-retired since the plan was made? Hand waiters the
+    // cached handle instead of recomputing.
+    if (cache_.Contains(plan.drill_id, num, filter_hash)) {
+      cache::ChunkHandle hit = cache_.Lookup(plan.drill_id, num, filter_hash);
+      if (hit != nullptr) {
+        inflight_.Publish(key, claim.slot, std::move(hit));
+        prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    to_fetch.push_back(num);
+    slots.push_back(std::move(claim.slot));
   }
-  return Status::OK();
+  if (to_fetch.empty()) return 0;
+
+  auto fail_all = [&](const Status& s) {
+    for (size_t i = 0; i < to_fetch.size(); ++i) {
+      if (slots[i] != nullptr) {
+        inflight_.Fail(ChunkKey{plan.drill_id, to_fetch[i], filter_hash},
+                       slots[i], s);
+      }
+    }
+  };
+  // Serial inside the worker (nested fan-out would tie up the pool).
+  auto computed = engine_->ComputeChunks(plan.drill, to_fetch, preds, work);
+  if (!computed.ok()) {
+    fail_all(computed.status());
+    return computed.status();
+  }
+  for (size_t i = 0; i < computed->size(); ++i) {
+    ChunkData& data = (*computed)[i];
+    auto entry = std::make_shared<cache::CachedChunk>();
+    entry->group_by_id = plan.drill_id;
+    entry->chunk_num = data.chunk_num;
+    entry->filter_hash = filter_hash;
+    entry->benefit = plan.benefit;
+    entry->cols = std::move(data.cols);
+    cache::ChunkHandle handle = entry;
+    cache_.Insert(std::move(entry));
+    if (slots[i] != nullptr) {
+      inflight_.Publish(ChunkKey{plan.drill_id, data.chunk_num, filter_hash},
+                        slots[i], std::move(handle));
+    }
+  }
+  return computed->size();
 }
 
 }  // namespace chunkcache::core

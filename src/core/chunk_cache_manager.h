@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "backend/engine.h"
+#include "backend/scan_scheduler.h"
 #include "cache/chunk_cache.h"
+#include "common/inflight_table.h"
 #include "common/thread_pool.h"
 #include "core/middle_tier.h"
 
@@ -44,6 +46,23 @@ struct ChunkManagerOptions {
   /// DrainPrefetch); serially it runs inline as before.
   bool enable_drill_down_prefetch = false;
   uint32_t prefetch_budget_chunks = 32;
+
+  /// Cross-query miss coalescing (singleflight + shared-scan batching):
+  /// the first query to miss a (group-by, chunk, filter) computes it and
+  /// publishes the result; concurrent missers wait instead of issuing
+  /// duplicate backend work, and concurrent same-group-by miss batches
+  /// merge into one scan. Off = every query computes its own misses
+  /// independently, bit-identical to the pre-coalescing behavior (the
+  /// ablation configuration).
+  bool enable_miss_coalescing = true;
+
+  /// Concurrent backend scans the shared-scan scheduler admits; 0 = auto
+  /// (max(2, num_workers)). Only used when miss coalescing is on.
+  uint32_t scan_max_outstanding = 0;
+
+  /// Open miss batches queued for a scan slot before new batch creation
+  /// back-pressures. Only used when miss coalescing is on.
+  uint32_t scan_max_queue_depth = 16;
 };
 
 /// The paper's middle tier (Sections 3 and 5): decomposes each query into
@@ -79,9 +98,13 @@ class ChunkCacheManager final : public MiddleTier {
   void DrainPrefetch();
 
   /// Cache stats plus executor counters (tasks submitted/run, queue peak,
-  /// steal-queue depth — zero by construction) and the async-prefetch
-  /// count; what `examples/shell.cpp`'s `stats` command prints.
+  /// steal-queue depth — zero by construction), the async-prefetch count,
+  /// and the miss-coalescing counters; what `examples/shell.cpp`'s `stats`
+  /// command prints.
   cache::ChunkCacheStats StatsSnapshot() const;
+
+  /// Shared-scan scheduler; null when miss coalescing is disabled.
+  backend::ScanScheduler* scan_scheduler() { return scheduler_.get(); }
 
   /// Signature of a query's non-group-by predicate list; part of every
   /// cached chunk's identity (0 = no predicates). Exposed for tests.
@@ -113,15 +136,27 @@ class ChunkCacheManager final : public MiddleTier {
       const backend::StarJoinQuery& query,
       const std::vector<uint64_t>& chunk_nums, uint64_t filter_hash);
 
-  /// Runs `plan` inline, charging `stats` (the serial path).
-  Status PrefetchInline(const PrefetchPlan& plan,
-                        const std::vector<backend::NonGroupByPredicate>& preds,
-                        uint64_t filter_hash, QueryStats* stats);
+  /// Singleflight table over the cache's own key triple.
+  using Inflight =
+      InflightTable<cache::ChunkKey, cache::ChunkHandle, cache::ChunkKeyHash>;
+
+  /// Runs `plan`'s fetches (dropping chunks another query is already
+  /// computing, claiming the rest through the in-flight table), admits and
+  /// publishes each computed chunk, and returns how many were fetched.
+  /// Shared by the inline and the fire-and-forget prefetch paths.
+  Result<uint64_t> RunPrefetch(
+      const PrefetchPlan& plan,
+      const std::vector<backend::NonGroupByPredicate>& preds,
+      uint64_t filter_hash, WorkCounters* work);
 
   backend::BackendEngine* engine_;
   ChunkManagerOptions options_;
   cache::ChunkCache cache_;
+  Inflight inflight_;
+  std::unique_ptr<backend::ScanScheduler> scheduler_;
   std::atomic<uint64_t> async_prefetched_{0};
+  std::atomic<uint64_t> coalesced_waits_{0};
+  std::atomic<uint64_t> prefetch_dropped_{0};
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`
   // finish while cache_ and engine_ are still alive.

@@ -30,6 +30,12 @@ struct QueryStats {
   uint64_t chunks_from_backend = 0;
   uint64_t prefetched_chunks = 0;
 
+  /// Missing chunks this query did not compute itself because another
+  /// in-flight query was already computing them (miss coalescing): the
+  /// query blocked on the owner's result instead of duplicating backend
+  /// work. Counted toward saved_fraction, like cache hits.
+  uint64_t coalesced_waits = 0;
+
   /// True when the query was answered without touching the backend.
   bool full_cache_hit = false;
 

@@ -1,0 +1,645 @@
+// Tests for cross-query miss coalescing: the in-flight (singleflight)
+// table, the shared-scan scheduler, failure propagation to waiters, and
+// the exactly-one-computation-per-distinct-chunk guarantee under query
+// storms. Runs under ThreadSanitizer in CI (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "backend/scan_scheduler.h"
+#include "cache/chunk_cache.h"
+#include "common/inflight_table.h"
+#include "core/chunk_cache_manager.h"
+#include "schema/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache {
+namespace {
+
+using backend::ChunkData;
+using backend::RowRun;
+using backend::StarJoinQuery;
+using chunks::ChunkCoords;
+using chunks::ChunkingOptions;
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using core::QueryStats;
+
+bool RowsEqual(const std::vector<backend::ResultRow>& a,
+               const std::vector<backend::ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].coords != b[i].coords || a[i].sum != b[i].sum ||
+        a[i].count != b[i].count || a[i].min_v != b[i].min_v ||
+        a[i].max_v != b[i].max_v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t TotalKernels(const backend::BackendEngine& engine) {
+  const backend::AggKernelStats ks = engine.kernel_stats();
+  return ks.dense_kernels + ks.hash_kernels;
+}
+
+// ------------------------------ InflightTable -------------------------------
+
+TEST(InflightTableTest, OwnerPublishesAndWaiterReceivesSharedValue) {
+  InflightTable<int, int> table;
+  auto first = table.Acquire(7);
+  ASSERT_TRUE(first.owner);
+  auto second = table.Acquire(7);
+  EXPECT_FALSE(second.owner);
+  EXPECT_EQ(second.slot.get(), first.slot.get());
+  EXPECT_TRUE(table.Pending(7));
+  EXPECT_EQ(table.size(), 1u);
+
+  table.Publish(7, first.slot, 42);
+  auto got = second.slot->Wait();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 42);
+
+  // Publish retires the entry: the key is claimable again.
+  EXPECT_FALSE(table.Pending(7));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Acquire(7).owner);
+  EXPECT_GE(table.peak(), 1u);
+}
+
+TEST(InflightTableTest, WaitBlocksUntilPublish) {
+  InflightTable<int, int> table;
+  auto owner = table.Acquire(1);
+  ASSERT_TRUE(owner.owner);
+  auto waiter = table.Acquire(1);
+  ASSERT_FALSE(waiter.owner);
+
+  std::atomic<bool> received{false};
+  std::thread t([&] {
+    auto got = waiter.slot->Wait();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 99);
+    received.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(received.load());
+  table.Publish(1, owner.slot, 99);
+  t.join();
+  EXPECT_TRUE(received.load());
+}
+
+TEST(InflightTableTest, FailWakesWaitersWithErrorAndRetiresEntry) {
+  InflightTable<int, int> table;
+  auto owner = table.Acquire(3);
+  auto waiter = table.Acquire(3);
+  table.Fail(3, owner.slot, Status::IoError("boom"));
+
+  auto got = waiter.slot->Wait();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+
+  // The failed entry is retired so a retry recomputes instead of waiting
+  // forever on a dead slot.
+  EXPECT_FALSE(table.Pending(3));
+  auto retry = table.Acquire(3);
+  EXPECT_TRUE(retry.owner);
+  table.Publish(3, retry.slot, 5);
+  auto ok = retry.slot->Wait();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+}
+
+// ----------------------------- CoalesceRowRuns ------------------------------
+
+TEST(CoalesceRowRunsTest, MaxRowsCapSplitsOnRunBoundaries) {
+  std::vector<RowRun> runs = {{20, 10, 1}, {0, 10, 1}, {10, 10, 1}};
+  // Unlimited: all three back-to-back runs merge into one read.
+  auto merged = backend::CoalesceRowRuns(runs);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].first, 0u);
+  EXPECT_EQ(merged[0].count, 30u);
+  EXPECT_EQ(merged[0].chunks, 3u);
+
+  // Capped at 25 rows: the third run would overflow the cap, so the split
+  // lands on its boundary — no run is ever cut in half.
+  auto capped = backend::CoalesceRowRuns(runs, /*max_rows=*/25);
+  ASSERT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped[0].first, 0u);
+  EXPECT_EQ(capped[0].count, 20u);
+  EXPECT_EQ(capped[1].first, 20u);
+  EXPECT_EQ(capped[1].count, 10u);
+
+  // Non-adjacent runs never merge, capped or not.
+  std::vector<RowRun> gappy = {{0, 5, 1}, {7, 5, 1}};
+  EXPECT_EQ(backend::CoalesceRowRuns(gappy, 100).size(), 2u);
+}
+
+// ------------------------------ storm fixture -------------------------------
+
+class MissCoalescingFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 20000;
+
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = ChunkingScheme::Build(schema_.get(), copts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<ChunkingScheme>(std::move(scheme).value());
+
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 61;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 4096);
+    auto file =
+        backend::ChunkedFile::BulkLoad(pool_.get(), scheme_.get(), tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(
+        pool_.get(), file_.get(), scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  /// A deterministic generated query needing at least `min_chunks` chunks.
+  StarJoinQuery PickQuery(uint64_t min_chunks, uint32_t seed = 17) {
+    workload::WorkloadOptions wopts;
+    wopts.seed = seed;
+    workload::QueryGenerator gen(schema_.get(), wopts);
+    for (int i = 0; i < 256; ++i) {
+      StarJoinQuery q = gen.Next();
+      const auto box = scheme_->BoxForSelection(q.group_by, q.selection);
+      if (box.NumChunks() >= min_chunks && q.non_group_by.empty()) return q;
+    }
+    ADD_FAILURE() << "no generated query needs >= " << min_chunks
+                  << " chunks";
+    return StarJoinQuery{};
+  }
+
+  std::vector<backend::ResultRow> ReferenceRows(const StarJoinQuery& q) {
+    ChunkManagerOptions opts;
+    opts.enable_miss_coalescing = false;  // the pre-coalescing serial path
+    ChunkCacheManager ref(engine_.get(), opts);
+    QueryStats st;
+    auto rows = ref.Execute(q, &st);
+    EXPECT_TRUE(rows.ok());
+    return std::move(*rows);
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<ChunkingScheme> scheme_;
+  std::vector<storage::Tuple> tuples_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+TEST_F(MissCoalescingFixture, IdenticalStormComputesEachDistinctChunkOnce) {
+  const StarJoinQuery query = PickQuery(/*min_chunks=*/6);
+  const uint64_t distinct =
+      scheme_->BoxForSelection(query.group_by, query.selection).NumChunks();
+  const std::vector<backend::ResultRow> want = ReferenceRows(query);
+
+  ChunkManagerOptions opts;
+  opts.num_workers = 4;
+  opts.cache_shards = 8;
+  ChunkCacheManager mgr(engine_.get(), opts);
+  engine_->ResetKernelStats();
+
+  constexpr int kThreads = 16;
+  std::vector<QueryStats> stats(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto rows = mgr.Execute(query, &stats[t]);
+      if (!rows.ok() || !RowsEqual(*rows, want)) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Exactly one backend computation per distinct chunk: the kernel tally
+  // increments once per computed chunk, so a single duplicated chunk
+  // (cache race, scheduler recompute, ...) fails this equality.
+  EXPECT_EQ(TotalKernels(*engine_), distinct);
+  uint64_t backend_total = 0;
+  uint64_t accounted = 0;
+  for (const QueryStats& st : stats) {
+    EXPECT_EQ(st.chunks_needed, distinct);
+    backend_total += st.chunks_from_backend;
+    accounted += st.chunks_from_backend + st.chunks_from_cache +
+                 st.coalesced_waits + st.chunks_from_aggregation;
+  }
+  EXPECT_EQ(backend_total, distinct);
+  EXPECT_EQ(accounted, static_cast<uint64_t>(kThreads) * distinct);
+
+  const cache::ChunkCacheStats cs = mgr.StatsSnapshot();
+  EXPECT_EQ(cs.dedup_saved_chunks, cs.coalesced_waits);
+  EXPECT_GE(cs.inflight_peak, 1u);
+  EXPECT_GE(cs.shared_scan_requests, 1u);
+  EXPECT_GE(cs.shared_scan_batches, 1u);
+}
+
+TEST_F(MissCoalescingFixture, OverlappingStormComputesUnionOnce) {
+  const StarJoinQuery base = PickQuery(/*min_chunks=*/8);
+  // Variants restrict the first dimension whose selection spans >= 2
+  // ordinals; all variant chunk sets are subsets of the base query's.
+  std::vector<StarJoinQuery> variants = {base};
+  for (uint32_t d = 0; d < base.group_by.num_dims; ++d) {
+    const auto& r = base.selection[d];
+    if (r.end > r.begin) {
+      const uint32_t mid = r.begin + (r.end - r.begin) / 2;
+      StarJoinQuery lo = base;
+      lo.selection[d].end = mid;
+      StarJoinQuery hi = base;
+      hi.selection[d].begin = mid;
+      variants.push_back(lo);
+      variants.push_back(hi);
+      break;
+    }
+  }
+  const uint64_t distinct =
+      scheme_->BoxForSelection(base.group_by, base.selection).NumChunks();
+  std::vector<std::vector<backend::ResultRow>> want;
+  want.reserve(variants.size());
+  for (const auto& q : variants) want.push_back(ReferenceRows(q));
+
+  ChunkManagerOptions opts;
+  opts.num_workers = 4;
+  opts.cache_shards = 8;
+  ChunkCacheManager mgr(engine_.get(), opts);
+  engine_->ResetKernelStats();
+
+  constexpr int kThreads = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t v = static_cast<size_t>(t) % variants.size();
+      QueryStats st;
+      auto rows = mgr.Execute(variants[v], &st);
+      if (!rows.ok() || !RowsEqual(*rows, want[v])) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The union of all variants' chunks is exactly the base query's set, and
+  // every distinct chunk was computed exactly once across the whole storm.
+  EXPECT_EQ(TotalKernels(*engine_), distinct);
+}
+
+TEST_F(MissCoalescingFixture, CoalescingOffIsBitIdenticalToOn) {
+  // Serial stream through both configurations: the ablation flag must not
+  // change a single row or stats field.
+  workload::WorkloadOptions wopts;
+  wopts.seed = 23;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  ChunkManagerOptions on_opts;
+  on_opts.enable_miss_coalescing = true;
+  ChunkManagerOptions off_opts;
+  off_opts.enable_miss_coalescing = false;
+  ChunkCacheManager on_mgr(engine_.get(), on_opts);
+  ChunkCacheManager off_mgr(engine_.get(), off_opts);
+  ASSERT_NE(on_mgr.scan_scheduler(), nullptr);
+  ASSERT_EQ(off_mgr.scan_scheduler(), nullptr);
+
+  for (int i = 0; i < 32; ++i) {
+    const StarJoinQuery q = gen.Next();
+    QueryStats on_st;
+    QueryStats off_st;
+    auto on_rows = on_mgr.Execute(q, &on_st);
+    auto off_rows = off_mgr.Execute(q, &off_st);
+    ASSERT_TRUE(on_rows.ok());
+    ASSERT_TRUE(off_rows.ok());
+    EXPECT_TRUE(RowsEqual(*on_rows, *off_rows)) << "query " << i;
+    EXPECT_EQ(on_st.chunks_needed, off_st.chunks_needed);
+    EXPECT_EQ(on_st.chunks_from_cache, off_st.chunks_from_cache);
+    EXPECT_EQ(on_st.chunks_from_backend, off_st.chunks_from_backend);
+    EXPECT_EQ(on_st.full_cache_hit, off_st.full_cache_hit);
+    EXPECT_EQ(on_st.saved_fraction, off_st.saved_fraction);
+    EXPECT_EQ(on_st.coalesced_waits, 0u);  // serial: nothing to wait on
+  }
+}
+
+TEST_F(MissCoalescingFixture, StormWithPrefetchDeduplicatesChildFetches) {
+  const StarJoinQuery query = PickQuery(/*min_chunks=*/4);
+  const uint64_t distinct =
+      scheme_->BoxForSelection(query.group_by, query.selection).NumChunks();
+
+  // Drill-down target the prefetcher will derive: every grouped dimension
+  // one level finer, capped at the hierarchy depth.
+  GroupBySpec drill = query.group_by;
+  bool changed = false;
+  for (uint32_t d = 0; d < drill.num_dims; ++d) {
+    const auto& h = schema_->dimension(d).hierarchy;
+    if (drill.levels[d] < h.depth()) {
+      drill.levels[d]++;
+      changed = true;
+    }
+  }
+  ASSERT_TRUE(changed) << "picked query already at base granularity";
+  // Distinct children across all needed chunks.
+  std::vector<uint64_t> needed;
+  const auto box = scheme_->BoxForSelection(query.group_by, query.selection);
+  box.ForEach(scheme_->GridFor(query.group_by),
+              [&](uint64_t num, const ChunkCoords&) { needed.push_back(num); });
+  std::vector<uint64_t> children;
+  for (uint64_t num : needed) {
+    auto src = scheme_->SourceBox(query.group_by, num, drill);
+    ASSERT_TRUE(src.ok());
+    src->ForEach(scheme_->GridFor(drill), [&](uint64_t child,
+                                              const ChunkCoords&) {
+      children.push_back(child);
+    });
+  }
+  std::sort(children.begin(), children.end());
+  children.erase(std::unique(children.begin(), children.end()),
+                 children.end());
+
+  ChunkManagerOptions opts;
+  opts.num_workers = 4;
+  opts.cache_shards = 8;
+  opts.enable_drill_down_prefetch = true;
+  opts.prefetch_budget_chunks = 100000;  // never truncate the plan
+  ChunkCacheManager mgr(engine_.get(), opts);
+  engine_->ResetKernelStats();
+
+  constexpr int kThreads = 16;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QueryStats st;
+      if (!mgr.Execute(query, &st).ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  mgr.DrainPrefetch();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Foreground chunks and prefetched children were each computed exactly
+  // once, no matter how many of the 16 queries raced to plan the same
+  // prefetch: the in-flight table dropped every duplicate.
+  EXPECT_EQ(TotalKernels(*engine_), distinct + children.size());
+}
+
+// --------------------------- fault / gate fixture ---------------------------
+
+/// DiskManager decorator with (a) an injectable read fault and (b) a gate
+/// that blocks ReadPage while closed — used to hold a scheduler leader
+/// mid-scan so concurrent requests pile up deterministically.
+class GateDiskManager final : public storage::DiskManager {
+ public:
+  explicit GateDiskManager(storage::DiskManager* inner) : inner_(inner) {}
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  int blocked_readers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_;
+  }
+  void set_fail_reads(bool v) {
+    fail_reads_.store(v, std::memory_order_relaxed);
+  }
+
+  uint32_t CreateFile() override { return inner_->CreateFile(); }
+  Result<storage::PageId> AllocatePage(uint32_t file_id) override {
+    return inner_->AllocatePage(file_id);
+  }
+  Status ReadPage(storage::PageId id, storage::Page* out) override {
+    if (fail_reads_.load(std::memory_order_relaxed)) {
+      return Status::IoError("injected read fault");
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!open_) {
+        ++blocked_;
+        cv_.wait(lock, [&] { return open_; });
+        --blocked_;
+      }
+    }
+    return inner_->ReadPage(id, out);
+  }
+  Status WritePage(storage::PageId id, const storage::Page& page) override {
+    return inner_->WritePage(id, page);
+  }
+  uint32_t FilePageCount(uint32_t file_id) const override {
+    return inner_->FilePageCount(file_id);
+  }
+
+ private:
+  storage::DiskManager* inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  int blocked_ = 0;
+  std::atomic<bool> fail_reads_{false};
+};
+
+class GatedBackendFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 6000;
+
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = ChunkingScheme::Build(schema_.get(), copts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<ChunkingScheme>(std::move(scheme).value());
+
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 7;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+
+    gate_ = std::make_unique<GateDiskManager>(&disk_);
+    // Tiny pool: reads cannot hide in the buffer pool, so gates and
+    // injected faults always reach the disk layer.
+    pool_ = std::make_unique<storage::BufferPool>(gate_.get(), 4);
+    auto file =
+        backend::ChunkedFile::BulkLoad(pool_.get(), scheme_.get(), tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(
+        pool_.get(), file_.get(), scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<GateDiskManager> gate_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<ChunkingScheme> scheme_;
+  std::vector<storage::Tuple> tuples_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+TEST_F(GatedBackendFixture, FailureReachesAllWaitersAndRetrySucceeds) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 5;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  const StarJoinQuery query = gen.Next();
+  const std::vector<backend::ResultRow> want = [&] {
+    ChunkManagerOptions ref_opts;
+    ref_opts.enable_miss_coalescing = false;
+    ChunkCacheManager ref(engine_.get(), ref_opts);
+    QueryStats st;
+    auto rows = ref.Execute(query, &st);
+    EXPECT_TRUE(rows.ok());
+    return std::move(*rows);
+  }();
+
+  ChunkManagerOptions opts;
+  opts.num_workers = 4;
+  opts.cache_shards = 4;
+  ChunkCacheManager mgr(engine_.get(), opts);
+
+  gate_->set_fail_reads(true);
+  constexpr int kThreads = 8;
+  std::atomic<int> oks{0};
+  std::atomic<int> io_errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QueryStats st;
+      auto rows = mgr.Execute(query, &st);
+      if (rows.ok()) {
+        oks.fetch_add(1);
+      } else if (rows.status().code() == StatusCode::kIoError) {
+        io_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Nothing was cached, so every storm thread — owners and coalesced
+  // waiters alike — must see the injected fault, and nobody deadlocks.
+  EXPECT_EQ(oks.load(), 0);
+  EXPECT_EQ(io_errors.load(), kThreads);
+
+  // The failed entries were retired, so after the disk heals a retry
+  // recomputes from scratch and matches the reference bit-for-bit.
+  gate_->set_fail_reads(false);
+  QueryStats st;
+  auto rows = mgr.Execute(query, &st);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(RowsEqual(*rows, want));
+  EXPECT_GT(st.chunks_from_backend, 0u);
+}
+
+TEST_F(GatedBackendFixture, SchedulerMergesRequestsWhileScanSlotIsBusy) {
+  const GroupBySpec target{{1, 1, 1, 1}, 4};
+  const uint64_t total = scheme_->GridFor(target).num_chunks();
+  ASSERT_GE(total, 6u);
+  const std::vector<uint64_t> req1 = {0, 1};
+  const std::vector<uint64_t> req2 = {2, 3};
+  const std::vector<uint64_t> req3 = {3, 4, 5};  // overlaps req2 on 3
+
+  backend::ScanSchedulerOptions sopts;
+  sopts.max_outstanding_scans = 1;  // a single scan slot forces queueing
+  backend::ScanScheduler sched(engine_.get(), sopts);
+
+  // The first request leads a batch, takes the only slot, and stalls in
+  // ReadPage behind the closed gate.
+  gate_->CloseGate();
+  WorkCounters w1;
+  Result<std::vector<ChunkData>> r1 = std::vector<ChunkData>{};
+  std::thread t1([&] { r1 = sched.Compute(target, req1, {}, &w1); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (gate_->blocked_readers() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(gate_->blocked_readers(), 0) << "leader never reached the disk";
+
+  // Two more same-target requests arrive: one opens the second batch and
+  // waits for the slot; the other joins that open batch.
+  WorkCounters w2;
+  WorkCounters w3;
+  Result<std::vector<ChunkData>> r2 = std::vector<ChunkData>{};
+  Result<std::vector<ChunkData>> r3 = std::vector<ChunkData>{};
+  std::thread t2([&] { r2 = sched.Compute(target, req2, {}, &w2); });
+  std::thread t3([&] { r3 = sched.Compute(target, req3, {}, &w3); });
+  while ((sched.stats().requests < 3 || sched.stats().merged_requests < 1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(sched.stats().merged_requests, 1u) << "requests never merged";
+
+  gate_->OpenGate();
+  t1.join();
+  t2.join();
+  t3.join();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+
+  const backend::ScanSchedulerStats ss = sched.stats();
+  EXPECT_EQ(ss.requests, 3u);
+  EXPECT_EQ(ss.batches, 2u);  // storm of 3 requests -> 2 physical scans
+  EXPECT_EQ(ss.merged_requests, 1u);
+  EXPECT_EQ(ss.outstanding_scans, 0u);
+  EXPECT_EQ(ss.queue_depth, 0u);
+
+  // Every requester got exactly its chunks, bit-identical to a direct
+  // engine computation, and the merged batch's work adds up exactly.
+  const auto check = [&](const std::vector<uint64_t>& want_nums,
+                         const std::vector<ChunkData>& got) {
+    ASSERT_EQ(got.size(), want_nums.size());
+    WorkCounters direct_work;
+    auto direct = engine_->ComputeChunks(target, want_nums, {}, &direct_work);
+    ASSERT_TRUE(direct.ok());
+    for (size_t i = 0; i < want_nums.size(); ++i) {
+      EXPECT_EQ(got[i].chunk_num, want_nums[i]);
+      ASSERT_EQ(got[i].cols.size(), (*direct)[i].cols.size());
+      for (size_t r = 0; r < got[i].cols.size(); ++r) {
+        const storage::AggTuple x = got[i].cols.RowAt(r);
+        const storage::AggTuple y = (*direct)[i].cols.RowAt(r);
+        EXPECT_EQ(x.coords, y.coords);
+        EXPECT_EQ(x.sum, y.sum);
+        EXPECT_EQ(x.count, y.count);
+      }
+    }
+  };
+  check(req1, *r1);
+  check(req2, *r2);
+  check(req3, *r3);
+  EXPECT_GT(w1.tuples_processed + w2.tuples_processed + w3.tuples_processed,
+            0u);
+}
+
+}  // namespace
+}  // namespace chunkcache

@@ -1,0 +1,302 @@
+// Measures what the robustness layer costs when nothing is failing, and
+// what it delivers when things are.
+//
+// Four sections:
+//   1. hook        — the disarmed CHUNKCACHE_FAULT_POINT itself: a hooked
+//                    vs unhooked noinline op timed over millions of calls;
+//                    the difference is the per-hook nanosecond cost.
+//   2. disarmed    — query-stream throughput with the injector fully
+//                    disarmed (the production configuration).
+//   3. armed-zero  — the same stream with every site armed at probability
+//                    zero, which makes the injector count how many fault
+//                    points a real query actually crosses (checks/query);
+//                    nothing fires, so the stream result is unchanged.
+//   4. storm       — ArmAll at a small probability against a retry- and
+//                    degraded-mode-enabled tier: error taxonomy plus the
+//                    injected/retried/degraded counters.
+//
+// The headline number is
+//   overhead_pct = 100 * checks_per_query * hook_ns / per_query_ns
+// i.e. the fraction of a healthy query spent in disarmed hooks. CI
+// asserts it stays <= 1 %.
+//
+// Results go to stdout AND to BENCH_faults.json (machine readable; CI
+// validates its schema). Honors CHUNKCACHE_BENCH_SCALE /
+// CHUNKCACHE_BENCH_QUERIES via ExperimentConfig::FromEnv.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "bench/common/experiment.h"
+#include "common/fault_injector.h"
+#include "common/retry.h"
+#include "core/chunk_cache_manager.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache::bench {
+namespace {
+
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using core::QueryStats;
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The two ops differ only in the fault point; both are noinline and called
+// through a function pointer so the compiler cannot specialize either loop.
+__attribute__((noinline)) Status HookedOp(uint64_t x, uint64_t* sink) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskRead);
+  *sink += x ^ (x >> 7);
+  return Status::OK();
+}
+
+__attribute__((noinline)) Status PlainOp(uint64_t x, uint64_t* sink) {
+  *sink += x ^ (x >> 7);
+  return Status::OK();
+}
+
+/// Best-of-3 per-call time of `op` over `iters` calls, in nanoseconds.
+double TimeOpNs(Status (*op)(uint64_t, uint64_t*), uint64_t iters) {
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t sink = 0;
+    const double t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) {
+      const Status s = op(i, &sink);
+      if (!s.ok()) return -1;  // disarmed: can never happen
+    }
+    const double elapsed = NowNs() - t0;
+    asm volatile("" ::"r"(sink));
+    best = std::min(best, elapsed / static_cast<double>(iters));
+  }
+  return best;
+}
+
+ChunkManagerOptions TierOptions() {
+  ChunkManagerOptions opts;
+  opts.num_workers = 4;
+  opts.cache_shards = 8;
+  return opts;
+}
+
+/// One full cold-start pass of the workload stream (fresh tier, reset
+/// backend, regenerated queries) so the disarmed and armed-at-zero runs
+/// cross exactly the same fault points.
+Result<StreamResult> RunColdStream(System* sys, uint64_t num_queries) {
+  CHUNKCACHE_RETURN_IF_ERROR(sys->ResetBackend());
+  ChunkCacheManager tier(&sys->engine(), TierOptions());
+  workload::WorkloadOptions wopts;
+  wopts.seed = 1998;
+  workload::QueryGenerator gen(&sys->schema(), wopts);
+  return RunStream(&tier, &gen, num_queries, sys->config().cost_model);
+}
+
+struct StormResult {
+  uint64_t queries = 0;
+  uint64_t ok = 0;
+  uint64_t io_errors = 0;
+  uint64_t corruption = 0;
+  uint64_t resource_exhausted = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t unexpected_errors = 0;  ///< Any other failure code: must be 0.
+  uint64_t faults_injected = 0;
+  uint64_t retries = 0;
+  uint64_t degraded_answers = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t deadline_expired = 0;
+};
+
+/// Seeded fault storm: every site armed at `probability` against a tier
+/// with retries and closure-property degraded answering enabled. Every
+/// fourth query carries a deadline to exercise that path too.
+Result<StormResult> RunStorm(System* sys, uint64_t num_queries,
+                             double probability) {
+  CHUNKCACHE_RETURN_IF_ERROR(sys->ResetBackend());
+  ChunkCacheManager tier(&sys->engine(), TierOptions());
+  workload::WorkloadOptions wopts;
+  wopts.seed = 1998;
+  workload::QueryGenerator gen(&sys->schema(), wopts);
+
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Seed(0xBADF00D5ull);
+  fi.ResetCounters();
+  fi.ArmAll(probability);
+
+  StormResult res;
+  res.queries = num_queries;
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    const backend::StarJoinQuery q = gen.Next();
+    QueryStats st;
+    ExecControl ctrl;
+    if (i % 4 == 3) ctrl.deadline = Deadline::AfterMs(250);
+    const auto r = tier.Execute(q, &st, ctrl);
+    if (r.ok()) {
+      ++res.ok;
+      continue;
+    }
+    switch (r.status().code()) {
+      case StatusCode::kIoError:
+        ++res.io_errors;
+        break;
+      case StatusCode::kCorruption:
+        ++res.corruption;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++res.resource_exhausted;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++res.deadline_exceeded;
+        break;
+      default:
+        ++res.unexpected_errors;
+        break;
+    }
+  }
+  const cache::ChunkCacheStats cs = tier.StatsSnapshot();
+  res.faults_injected = fi.faults_injected();
+  res.retries = cs.retries;
+  res.degraded_answers = cs.degraded_answers;
+  res.checksum_failures = cs.checksum_failures;
+  res.deadline_expired = cs.deadline_expired;
+  fi.DisarmAll();
+  fi.ResetCounters();
+  return res;
+}
+
+Status Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  PrintSetup(config,
+             "Fault hooks: disarmed overhead and storm behavior");
+  FaultInjector& fi = FaultInjector::Global();
+  fi.DisarmAll();
+  fi.ResetCounters();
+
+  // 1. The hook itself, disarmed.
+  constexpr uint64_t kHookIters = 20 * 1000 * 1000;
+  const double hooked_ns = TimeOpNs(&HookedOp, kHookIters);
+  const double plain_ns = TimeOpNs(&PlainOp, kHookIters);
+  const double hook_ns = std::max(0.0, hooked_ns - plain_ns);
+  std::printf("hook: %.3f ns disarmed (hooked %.3f, baseline %.3f)\n",
+              hook_ns, hooked_ns, plain_ns);
+
+  CHUNKCACHE_ASSIGN_OR_RETURN(std::unique_ptr<System> sys,
+                              System::Build(config));
+  const uint64_t num_queries = config.stream_queries;
+
+  // 2. Disarmed stream.
+  CHUNKCACHE_ASSIGN_OR_RETURN(const StreamResult disarmed,
+                              RunColdStream(sys.get(), num_queries));
+  const double disarmed_qps =
+      disarmed.wall_seconds > 0
+          ? static_cast<double>(num_queries) / disarmed.wall_seconds
+          : 0;
+  const double per_query_ns =
+      disarmed.wall_seconds * 1e9 / static_cast<double>(num_queries);
+  std::printf("disarmed: %.0f q/s (%.0f us/query)\n", disarmed_qps,
+              per_query_ns / 1000.0);
+
+  // 3. Same stream, every site armed at probability zero: counts the
+  // fault points a query actually crosses without changing any result.
+  fi.ArmAll(0.0);
+  fi.ResetCounters();
+  CHUNKCACHE_ASSIGN_OR_RETURN(const StreamResult armed_zero,
+                              RunColdStream(sys.get(), num_queries));
+  const double checks_per_query =
+      static_cast<double>(fi.checks()) / static_cast<double>(num_queries);
+  if (fi.faults_injected() != 0) {
+    return Status::Internal("probability-zero sites injected faults");
+  }
+  fi.DisarmAll();
+  fi.ResetCounters();
+  const double armed_zero_qps =
+      armed_zero.wall_seconds > 0
+          ? static_cast<double>(num_queries) / armed_zero.wall_seconds
+          : 0;
+  const double overhead_pct =
+      per_query_ns > 0 ? 100.0 * checks_per_query * hook_ns / per_query_ns
+                       : 0;
+  std::printf(
+      "armed@0: %.0f q/s, %.0f checks/query -> disarmed hook overhead "
+      "%.4f%% of a query\n",
+      armed_zero_qps, checks_per_query, overhead_pct);
+
+  // 4. Storm.
+  const uint64_t storm_queries = std::min<uint64_t>(num_queries, 300);
+  CHUNKCACHE_ASSIGN_OR_RETURN(const StormResult storm,
+                              RunStorm(sys.get(), storm_queries, 0.005));
+  std::printf(
+      "storm (p=0.005, %llu queries): %llu ok, %llu io, %llu corrupt, "
+      "%llu exhausted, %llu deadline, %llu unexpected\n",
+      static_cast<unsigned long long>(storm.queries),
+      static_cast<unsigned long long>(storm.ok),
+      static_cast<unsigned long long>(storm.io_errors),
+      static_cast<unsigned long long>(storm.corruption),
+      static_cast<unsigned long long>(storm.resource_exhausted),
+      static_cast<unsigned long long>(storm.deadline_exceeded),
+      static_cast<unsigned long long>(storm.unexpected_errors));
+  std::printf(
+      "storm counters: %llu faults injected, %llu retries, %llu degraded "
+      "answers, %llu checksum failures, %llu deadline expirations\n",
+      static_cast<unsigned long long>(storm.faults_injected),
+      static_cast<unsigned long long>(storm.retries),
+      static_cast<unsigned long long>(storm.degraded_answers),
+      static_cast<unsigned long long>(storm.checksum_failures),
+      static_cast<unsigned long long>(storm.deadline_expired));
+
+  std::FILE* out = std::fopen("BENCH_faults.json", "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot write BENCH_faults.json");
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"faults\",\n  \"num_tuples\": %llu,\n"
+               "  \"queries\": %llu,\n"
+               "  \"hook_ns\": %.4f,\n  \"checks_per_query\": %.1f,\n"
+               "  \"disarmed_qps\": %.1f,\n  \"armed_zero_qps\": %.1f,\n"
+               "  \"per_query_ns\": %.1f,\n  \"overhead_pct\": %.4f,\n",
+               static_cast<unsigned long long>(config.num_tuples),
+               static_cast<unsigned long long>(num_queries), hook_ns,
+               checks_per_query, disarmed_qps, armed_zero_qps, per_query_ns,
+               overhead_pct);
+  std::fprintf(
+      out,
+      "  \"storm\": {\"probability\": 0.005, \"queries\": %llu, "
+      "\"ok\": %llu, \"io_errors\": %llu, \"corruption\": %llu, "
+      "\"resource_exhausted\": %llu, \"deadline_exceeded\": %llu, "
+      "\"unexpected_errors\": %llu, \"faults_injected\": %llu, "
+      "\"retries\": %llu, \"degraded_answers\": %llu, "
+      "\"checksum_failures\": %llu, \"deadline_expired\": %llu}\n}\n",
+      static_cast<unsigned long long>(storm.queries),
+      static_cast<unsigned long long>(storm.ok),
+      static_cast<unsigned long long>(storm.io_errors),
+      static_cast<unsigned long long>(storm.corruption),
+      static_cast<unsigned long long>(storm.resource_exhausted),
+      static_cast<unsigned long long>(storm.deadline_exceeded),
+      static_cast<unsigned long long>(storm.unexpected_errors),
+      static_cast<unsigned long long>(storm.faults_injected),
+      static_cast<unsigned long long>(storm.retries),
+      static_cast<unsigned long long>(storm.degraded_answers),
+      static_cast<unsigned long long>(storm.checksum_failures),
+      static_cast<unsigned long long>(storm.deadline_expired));
+  std::fclose(out);
+  std::printf("\nwrote BENCH_faults.json\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace chunkcache::bench
+
+int main() {
+  const chunkcache::Status s = chunkcache::bench::Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_faults failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -166,10 +166,19 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.dedup_saved_chunks,
                   (unsigned long long)cs.prefetch_dropped_inflight,
                   (unsigned long long)cs.inflight_peak);
-      std::printf("shared scans: batches=%llu requests=%llu queue hwm=%llu\n",
+      std::printf("shared scans: batches=%llu requests=%llu queue hwm=%llu "
+                  "deadline sheds=%llu\n",
                   (unsigned long long)cs.shared_scan_batches,
                   (unsigned long long)cs.shared_scan_requests,
-                  (unsigned long long)cs.scan_queue_depth_hwm);
+                  (unsigned long long)cs.scan_queue_depth_hwm,
+                  (unsigned long long)cs.scan_deadline_sheds);
+      std::printf("faults: injected=%llu retries=%llu degraded=%llu "
+                  "deadline expired=%llu checksum failures=%llu\n",
+                  (unsigned long long)cs.faults_injected,
+                  (unsigned long long)cs.retries,
+                  (unsigned long long)cs.degraded_answers,
+                  (unsigned long long)cs.deadline_expired,
+                  (unsigned long long)cs.checksum_failures);
       continue;
     }
     if (line == ".reset") {

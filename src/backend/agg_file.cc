@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/fault_injector.h"
+
 namespace chunkcache::backend {
 
 using storage::AggColumns;
@@ -127,6 +129,7 @@ Status AggFile::Get(uint64_t rid, AggTuple* out) {
 Status AggFile::ScanRange(
     uint64_t first, uint64_t count,
     const std::function<bool(const AggTuple&)>& fn) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kAggScan);
   if (first > num_rows_) {
     return Status::OutOfRange("AggFile::ScanRange beyond EOF");
   }
@@ -159,6 +162,7 @@ Status AggFile::ScanRange(
 
 Status AggFile::ScanRangeColumns(uint64_t first, uint64_t count,
                                  AggColumns* out) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kAggScan);
   if (first > num_rows_) {
     return Status::OutOfRange("AggFile::ScanRangeColumns beyond EOF");
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injector.h"
+
 namespace chunkcache::backend {
 
 using storage::RowId;
@@ -88,6 +90,7 @@ Result<std::vector<RowRun>> ChunkedFile::CoalescedRuns(
   if (!clustered_) {
     return Status::Unsupported("CoalescedRuns on an unclustered file");
   }
+  CHUNKCACHE_FAULT_POINT(FaultSite::kFactScan);
   std::vector<RowRun> runs;
   runs.reserve(chunk_nums.size());
   for (uint64_t chunk_num : chunk_nums) {
@@ -106,6 +109,7 @@ Status ChunkedFile::ScanChunk(
   if (!clustered_) {
     return Status::Unsupported("ScanChunk on an unclustered file");
   }
+  CHUNKCACHE_FAULT_POINT(FaultSite::kFactScan);
   auto run = ChunkRun(chunk_num);
   if (!run.ok()) {
     // An empty chunk simply has no run; treat as zero tuples.

@@ -12,6 +12,7 @@
 #include "backend/star_join_query.h"
 #include "chunks/chunking_scheme.h"
 #include "common/cost_model.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/bitmap_index.h"
@@ -137,11 +138,16 @@ class BackendEngine {
   /// merged at the end. Output is deterministic — element i of the result
   /// is chunk_nums[i] with canonically sorted rows, identical to the
   /// serial path. Passing nullptr keeps the exact serial code path.
+  ///
+  /// `ctrl` (optional) is checked at entry and before each chunk's scan,
+  /// so an expired deadline or a cancelled query sheds remaining work
+  /// mid-computation instead of finishing a doomed scan.
   Result<std::vector<ChunkData>> ComputeChunks(
       const chunks::GroupBySpec& target,
       const std::vector<uint64_t>& chunk_nums,
       const std::vector<NonGroupByPredicate>& non_group_by,
-      WorkCounters* work, ThreadPool* executor = nullptr);
+      WorkCounters* work, ThreadPool* executor = nullptr,
+      const ExecControl* ctrl = nullptr);
 
   /// Evaluates a full star-join query (the no-cache path and the
   /// query-cache miss path): bitmap selection when available and selective

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace chunkcache::backend {
@@ -99,9 +100,20 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
     const chunks::GroupBySpec& target,
     const std::vector<uint64_t>& chunk_nums,
     const std::vector<NonGroupByPredicate>& non_group_by, WorkCounters* work,
-    ThreadPool* executor) {
+    ThreadPool* executor, const ExecControl* ctrl) {
   if (chunk_nums.empty()) return std::vector<ChunkData>{};
   CHUNKCACHE_CHECK(work != nullptr);
+  CHUNKCACHE_FAULT_POINT(FaultSite::kScanAdmit);
+  if (ctrl != nullptr) CHUNKCACHE_RETURN_IF_ERROR(ctrl->Check());
+  const Deadline deadline = ctrl != nullptr ? ctrl->deadline : Deadline();
+  // Timed wait honoring an infinite deadline; returns false on timeout.
+  auto wait = [&](std::unique_lock<std::mutex>& lock, auto pred) {
+    if (deadline.infinite()) {
+      cv_.wait(lock, pred);
+      return true;
+    }
+    return cv_.wait_until(lock, deadline.time_point(), pred);
+  };
 
   Request req;
   req.chunks = &chunk_nums;
@@ -115,7 +127,13 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
     if (batch == nullptr) {
       // Back-pressure: creating a new batch needs room in the open queue.
       // A joinable batch may appear while we wait, so re-probe after.
-      cv_.wait(lock, [&] { return open_.size() < options_.max_queue_depth; });
+      if (!wait(lock, [&] {
+            return open_.size() < options_.max_queue_depth;
+          })) {
+        // Nothing joined yet — this request simply never got in the door.
+        ++stats_.deadline_sheds;
+        return Status::DeadlineExceeded("scan admission queue full");
+      }
       batch = FindJoinableLocked(target, non_group_by);
     }
     if (batch != nullptr) {
@@ -133,8 +151,21 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
 
       // Admission: the batch stays open (joinable) until a scan slot
       // frees up — this is where a storm turns into batching.
-      cv_.wait(lock,
-               [&] { return outstanding_ < options_.max_outstanding_scans; });
+      if (!wait(lock, [&] {
+            return outstanding_ < options_.max_outstanding_scans;
+          })) {
+        // Leader timed out queued for a slot: shed the whole batch. The
+        // followers joined *this* batch precisely to share its scan, so
+        // they share its deadline fate; each can retry or degrade.
+        batch->closed = true;
+        batch->finished = true;
+        batch->status = Status::DeadlineExceeded("scan slot wait timed out");
+        open_.remove(batch);
+        ++stats_.deadline_sheds;
+        lock.unlock();
+        cv_.notify_all();
+        return batch->status;
+      }
       ++outstanding_;
       stats_.outstanding_hwm =
           std::max<uint64_t>(stats_.outstanding_hwm, outstanding_);
@@ -173,7 +204,20 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
     cv_.notify_all();
   } else {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return batch->finished; });
+    if (!wait(lock, [&] { return batch->finished; })) {
+      if (!batch->closed) {
+        // Still open: withdraw this request before the leader snapshots
+        // the batch (req lives on this stack frame).
+        auto& reqs = batch->requests;
+        reqs.erase(std::remove(reqs.begin(), reqs.end(), &req), reqs.end());
+        ++stats_.deadline_sheds;
+        return Status::DeadlineExceeded("scan batch wait timed out");
+      }
+      // Closed: the merged scan is already running with this request
+      // registered, so the pointer must stay valid — wait it out (bounded
+      // by one engine call).
+      cv_.wait(lock, [&] { return batch->finished; });
+    }
   }
 
   if (!batch->status.ok()) return batch->status;

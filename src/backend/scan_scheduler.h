@@ -12,6 +12,7 @@
 #include "backend/star_join_query.h"
 #include "chunks/group_by_spec.h"
 #include "common/cost_model.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -36,6 +37,7 @@ struct ScanSchedulerStats {
   uint64_t requests = 0;         ///< Compute calls routed through.
   uint64_t merged_requests = 0;  ///< Calls that joined an existing batch.
   uint64_t batches = 0;          ///< Backend scans actually issued.
+  uint64_t deadline_sheds = 0;   ///< Requests/batches given up at deadline.
   uint64_t queue_depth_hwm = 0;
   uint64_t outstanding_hwm = 0;
   uint64_t outstanding_scans = 0;
@@ -77,11 +79,21 @@ class ScanScheduler {
   /// chunk_nums[i], bit-identical to a direct ComputeChunks call. This
   /// request's work share is added to `*work`. `executor` is used only if
   /// this call ends up leading its batch.
+  ///
+  /// `ctrl` (optional) bounds *admission*: a request whose deadline expires
+  /// while queued for a scan slot sheds instead of wedging — a timed-out
+  /// leader fails its whole batch with DeadlineExceeded (every requester of
+  /// that batch shares the leader's fate, as they share its scan), a
+  /// timed-out follower of a still-open batch withdraws alone. Once a
+  /// batch's scan is running the deadline is no longer consulted: a batch
+  /// may merge requesters with different deadlines, so mid-scan
+  /// cancellation on behalf of one of them would be wrong.
   Result<std::vector<ChunkData>> Compute(
       const chunks::GroupBySpec& target,
       const std::vector<uint64_t>& chunk_nums,
       const std::vector<NonGroupByPredicate>& non_group_by,
-      WorkCounters* work, ThreadPool* executor = nullptr);
+      WorkCounters* work, ThreadPool* executor = nullptr,
+      const ExecControl* ctrl = nullptr);
 
   ScanSchedulerStats stats() const;
   void ResetStats();

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace chunkcache::cache {
@@ -104,6 +105,14 @@ void ChunkCache::Insert(CachedChunk chunk) {
 
 void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
   CHUNKCACHE_CHECK(chunk != nullptr);
+  // Injected admission loss: the chunk is simply not cached. Correctness
+  // is unaffected — every producer holds its own handle to the data — so
+  // this exercises "cache dropped my insert" paths (e.g. degraded answers
+  // must not assume their sources stayed resident).
+  {
+    FaultInjector& fi = FaultInjector::Global();
+    if (fi.armed() && fi.ShouldInject(FaultSite::kCacheInsert)) return;
+  }
   const Key key{chunk->group_by_id, chunk->chunk_num, chunk->filter_hash};
   Shard& s = ShardFor(key);
   const uint64_t bytes = chunk->ByteSize();

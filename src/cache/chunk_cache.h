@@ -130,6 +130,16 @@ struct ChunkCacheStats {
   uint64_t shared_scan_batches = 0;   ///< Backend scans issued by the scheduler.
   uint64_t shared_scan_requests = 0;  ///< Miss batches routed through it.
   uint64_t scan_queue_depth_hwm = 0;  ///< Open-batch queue high-water mark.
+
+  // Robustness counters, filled by ChunkCacheManager::StatsSnapshot from
+  // the fault injector, retry plumbing, disk manager and scheduler; zero
+  // when read straight off a ChunkCache.
+  uint64_t faults_injected = 0;    ///< Faults fired by the global injector.
+  uint64_t retries = 0;            ///< Backend compute attempts repeated.
+  uint64_t degraded_answers = 0;   ///< Chunks answered via closure fallback.
+  uint64_t deadline_expired = 0;   ///< Chunk waits/computes cut by deadline.
+  uint64_t checksum_failures = 0;  ///< Page CRC mismatches caught on read.
+  uint64_t scan_deadline_sheds = 0;  ///< Scheduler admissions given up.
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from

@@ -1,0 +1,93 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+namespace chunkcache {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+/// table[k] advances a byte through k additional zero bytes, letting the
+/// loop fold 8 input bytes per iteration.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t crc) {
+  static const Crc32cTables tables;
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = tables.t[7][word & 0xFF] ^ tables.t[6][(word >> 8) & 0xFF] ^
+          tables.t[5][(word >> 16) & 0xFF] ^ tables.t[4][(word >> 24) & 0xFF] ^
+          tables.t[3][(word >> 32) & 0xFF] ^ tables.t[2][(word >> 40) & 0xFF] ^
+          tables.t[1][(word >> 48) & 0xFF] ^ tables.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t n,
+                                                          uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t c = ~crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return ~c32;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#else
+
+uint32_t Crc32cHardware(const void* data, size_t n, uint32_t crc) {
+  return Crc32cSoftware(data, n, crc);
+}
+bool HaveSse42() { return false; }
+
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const bool use_hw = HaveSse42();
+  return use_hw ? Crc32cHardware(data, n, seed)
+                : Crc32cSoftware(data, n, seed);
+}
+
+}  // namespace chunkcache

@@ -1,0 +1,20 @@
+#ifndef CHUNKCACHE_COMMON_CRC32C_H_
+#define CHUNKCACHE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chunkcache {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `n` bytes of `data`, chained through `seed` (pass a previous return
+/// value to continue a running checksum; 0 starts fresh).
+///
+/// Dispatches once at startup: the SSE4.2 crc32 instruction when the CPU
+/// has it, otherwise a slicing-by-8 table implementation. Both produce the
+/// standard CRC-32C, so checksums are portable across machines.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace chunkcache
+
+#endif  // CHUNKCACHE_COMMON_CRC32C_H_

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace chunkcache {
@@ -39,6 +40,22 @@ class InflightTable {
     Result<Value> Wait() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return done_; });
+      if (!status_.ok()) return status_;
+      return value_;
+    }
+
+    /// Like Wait, but gives up at `deadline` with DeadlineExceeded. The
+    /// slot itself is unaffected — the owner still resolves it for any
+    /// remaining waiters, and a timed-out waiter may probe the cache or
+    /// degrade instead of blocking on a wedged owner.
+    Result<Value> WaitUntil(const Deadline& deadline) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (deadline.infinite()) {
+        cv_.wait(lock, [&] { return done_; });
+      } else if (!cv_.wait_until(lock, deadline.time_point(),
+                                 [&] { return done_; })) {
+        return Status::DeadlineExceeded("timed out waiting for owner");
+      }
       if (!status_.ok()) return status_;
       return value_;
     }

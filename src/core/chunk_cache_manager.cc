@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "backend/aggregator.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace chunkcache::core {
@@ -70,7 +71,13 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
     s.shared_scan_batches = ss.batches;
     s.shared_scan_requests = ss.requests;
     s.scan_queue_depth_hwm = ss.queue_depth_hwm;
+    s.scan_deadline_sheds = ss.deadline_sheds;
   }
+  s.faults_injected = FaultInjector::Global().faults_injected();
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.checksum_failures = engine_->pool().disk()->stats().checksum_failures;
   return s;
 }
 
@@ -94,8 +101,39 @@ uint64_t ChunkCacheManager::FilterHash(
 
 Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     const StarJoinQuery& query, QueryStats* stats) {
+  ExecControl ctrl;
+  if (options_.default_deadline_ms != 0) {
+    ctrl.deadline = Deadline::AfterMs(options_.default_deadline_ms);
+  }
+  return Execute(query, stats, ctrl);
+}
+
+Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
+    const StarJoinQuery& query, QueryStats* stats, const ExecControl& ctrl) {
   CHUNKCACHE_CHECK(stats != nullptr);
   *stats = QueryStats();
+  // Fail fast before claiming any in-flight slot: an already expired or
+  // cancelled query must not become an owner other queries wait on.
+  CHUNKCACHE_RETURN_IF_ERROR(ctrl.Check());
+  // Flush this query's robustness counters into the manager totals on
+  // every path out (QueryStats was reset above, so they only grow here).
+  struct CounterFlush {
+    ChunkCacheManager* m;
+    QueryStats* s;
+    ~CounterFlush() {
+      if (s->retries != 0) {
+        m->retries_.fetch_add(s->retries, std::memory_order_relaxed);
+      }
+      if (s->degraded_answers != 0) {
+        m->degraded_answers_.fetch_add(s->degraded_answers,
+                                       std::memory_order_relaxed);
+      }
+      if (s->deadline_expired != 0) {
+        m->deadline_expired_.fetch_add(s->deadline_expired,
+                                       std::memory_order_relaxed);
+      }
+    }
+  } counter_flush{this, stats};
   const chunks::ChunkingScheme& scheme = engine_->scheme();
   const uint32_t gb_id = scheme.GroupById(query.group_by);
   const uint64_t filter_hash = FilterHash(query.non_group_by);
@@ -223,15 +261,20 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     hit_rows.reserve(total);
     for (const auto& h : cached) h->cols.AppendToRows(&hit_rows);
   };
-  const auto compute_owned = [&]() -> Result<std::vector<ChunkData>> {
+  const auto compute_once = [&]() -> Result<std::vector<ChunkData>> {
     if (scheduler_ != nullptr) {
       return scheduler_->Compute(query.group_by, owned_nums,
                                  query.non_group_by, &stats->backend_work,
-                                 pool_.get());
+                                 pool_.get(), &ctrl);
     }
     return engine_->ComputeChunks(query.group_by, owned_nums,
                                   query.non_group_by, &stats->backend_work,
-                                  pool_.get());
+                                  pool_.get(), &ctrl);
+  };
+  // Bounded retries with backoff: transient backend faults (injected or
+  // real) re-attempt instead of failing the query and its waiters.
+  const auto compute_owned = [&]() -> Result<std::vector<ChunkData>> {
+    return RunWithRetry(options_.retry, ctrl, &stats->retries, compute_once);
   };
   Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
   const bool overlap = pool_ != nullptr && !owned_nums.empty() &&
@@ -249,11 +292,38 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     assemble_hits();
     if (!owned_nums.empty()) computed = compute_owned();
   }
+  bool answered_degraded = false;
   if (!computed.ok()) {
-    fail_unresolved(computed.status());
-    return computed.status();
+    if (computed.status().code() == StatusCode::kDeadlineExceeded) {
+      stats->deadline_expired += owned.size();
+    }
+    // Degraded-mode answering (closure property): every chunk the backend
+    // failed to deliver may still be assembled from cached chunks of a
+    // strictly finer group-by. All-or-nothing — a partial assembly would
+    // leave some owned slots unresolved with nothing to publish.
+    std::vector<ChunkData> assembled;
+    if (options_.enable_degraded_mode) {
+      assembled.reserve(owned.size());
+      for (const Miss& om : owned) {
+        auto cols =
+            TryInCacheAggregation(query.group_by, om.chunk_num, filter_hash);
+        if (!cols) break;
+        ChunkData data;
+        data.chunk_num = om.chunk_num;
+        data.cols = std::move(*cols);
+        assembled.push_back(std::move(data));
+      }
+    }
+    if (assembled.size() == owned.size()) {
+      stats->degraded_answers += owned.size();
+      answered_degraded = true;
+      computed = std::move(assembled);
+    } else {
+      fail_unresolved(computed.status());
+      return computed.status();
+    }
   }
-  stats->chunks_from_backend = computed->size();
+  if (!answered_degraded) stats->chunks_from_backend = computed->size();
   for (size_t i = 0; i < computed->size(); ++i) {
     ChunkData& data = (*computed)[i];
     auto entry = std::make_shared<cache::CachedChunk>();
@@ -278,12 +348,45 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
 
   // 4b. Collect the chunks other in-flight queries computed for us. Every
   // chunk this query owned is already published, so blocking here cannot
-  // deadlock even when two queries wait on each other's chunks.
+  // deadlock even when two queries wait on each other's chunks. A wait
+  // that fails — owner error, or this query's own deadline — falls back:
+  // first re-probe the cache (a racing retry of the owner may have
+  // published), then closure-property assembly, then give up.
   for (const Miss& wm : waits) {
-    Result<cache::ChunkHandle> res = wm.slot->Wait();
-    if (!res.ok()) return res.status();
-    (*res)->cols.AppendToRows(&rows);
-    ++stats->coalesced_waits;
+    Result<cache::ChunkHandle> res = wm.slot->WaitUntil(ctrl.deadline);
+    if (res.ok()) {
+      (*res)->cols.AppendToRows(&rows);
+      ++stats->coalesced_waits;
+      continue;
+    }
+    if (res.status().code() == StatusCode::kDeadlineExceeded) {
+      ++stats->deadline_expired;
+    }
+    cache::ChunkHandle raced = cache_.Lookup(gb_id, wm.chunk_num, filter_hash);
+    if (raced != nullptr) {
+      raced->cols.AppendToRows(&rows);
+      ++stats->chunks_from_cache;
+      continue;
+    }
+    if (options_.enable_degraded_mode) {
+      auto cols =
+          TryInCacheAggregation(query.group_by, wm.chunk_num, filter_hash);
+      if (cols) {
+        // Not the owner of this key, so no slot to publish — just admit
+        // the assembled chunk for future queries and use its rows.
+        auto entry = std::make_shared<cache::CachedChunk>();
+        entry->group_by_id = gb_id;
+        entry->chunk_num = wm.chunk_num;
+        entry->filter_hash = filter_hash;
+        entry->benefit = benefit;
+        entry->cols = std::move(*cols);
+        entry->cols.AppendToRows(&rows);
+        ++stats->degraded_answers;
+        cache_.Insert(std::move(entry));
+        continue;
+      }
+    }
+    return res.status();
   }
   if (stats->coalesced_waits != 0) {
     coalesced_waits_.fetch_add(stats->coalesced_waits,
@@ -297,12 +400,15 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
 
   stats->full_cache_hit = owned_nums.empty() && waits.empty() &&
                           stats->chunks_from_backend == 0;
+  // Degraded answers count as saved: they were served entirely from
+  // cached (finer) content, the backend contributed nothing.
   stats->saved_fraction =
       stats->chunks_needed == 0
           ? 0.0
           : static_cast<double>(stats->chunks_from_cache +
                                 stats->chunks_from_aggregation +
-                                stats->coalesced_waits) /
+                                stats->coalesced_waits +
+                                stats->degraded_answers) /
                 static_cast<double>(stats->chunks_needed);
   stats->modeled_ms = options_.cost_model.Cost(
       stats->backend_work.pages_read, stats->backend_work.pages_written,

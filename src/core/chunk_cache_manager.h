@@ -11,6 +11,7 @@
 #include "backend/scan_scheduler.h"
 #include "cache/chunk_cache.h"
 #include "common/inflight_table.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/middle_tier.h"
 
@@ -63,6 +64,25 @@ struct ChunkManagerOptions {
   /// Open miss batches queued for a scan slot before new batch creation
   /// back-pressures. Only used when miss coalescing is on.
   uint32_t scan_max_queue_depth = 16;
+
+  /// Retry policy for backend chunk computation: a retryable failure
+  /// (I/O error, corruption, resource exhaustion) re-attempts the compute
+  /// with jittered exponential backoff instead of failing the query.
+  RetryPolicy retry;
+
+  /// Closure-property degraded answering: when the backend cannot deliver
+  /// a missing chunk (all retries failed, or the deadline expired), try to
+  /// assemble it by aggregating cached chunks of a strictly finer group-by
+  /// instead of failing the query. The roll-up is the same deterministic
+  /// path as enable_in_cache_aggregation (exact counts/min/max; sums agree
+  /// with a direct scan up to floating-point summation order);
+  /// QueryStats::degraded_answers records the provenance.
+  bool enable_degraded_mode = true;
+
+  /// Default per-query deadline in milliseconds (0 = none). Queries run
+  /// through the Execute(query, stats) interface get this deadline; the
+  /// Execute overload taking an ExecControl overrides it.
+  uint64_t default_deadline_ms = 0;
 };
 
 /// The paper's middle tier (Sections 3 and 5): decomposes each query into
@@ -84,6 +104,16 @@ class ChunkCacheManager final : public MiddleTier {
 
   Result<std::vector<backend::ResultRow>> Execute(
       const backend::StarJoinQuery& query, QueryStats* stats) override;
+
+  /// Execute with explicit per-query control: deadline and cancellation
+  /// are honored at claim time, in backend computation (entry + per
+  /// chunk), at scan-scheduler admission, and while waiting on chunks
+  /// owned by other queries. An expired/cancelled query fails fast with
+  /// DeadlineExceeded/Cancelled without claiming in-flight slots — or
+  /// degrades to closure-property answering when enabled and possible.
+  Result<std::vector<backend::ResultRow>> Execute(
+      const backend::StarJoinQuery& query, QueryStats* stats,
+      const ExecControl& ctrl);
 
   std::string name() const override { return "chunk-cache"; }
 
@@ -157,6 +187,9 @@ class ChunkCacheManager final : public MiddleTier {
   std::atomic<uint64_t> async_prefetched_{0};
   std::atomic<uint64_t> coalesced_waits_{0};
   std::atomic<uint64_t> prefetch_dropped_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> degraded_answers_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`
   // finish while cache_ and engine_ are still alive.

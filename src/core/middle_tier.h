@@ -36,6 +36,20 @@ struct QueryStats {
   /// work. Counted toward saved_fraction, like cache hits.
   uint64_t coalesced_waits = 0;
 
+  /// Backend compute attempts repeated under the retry policy after a
+  /// retryable failure (I/O error, corruption, resource exhaustion).
+  uint64_t retries = 0;
+
+  /// Chunks the backend could not deliver (failure or deadline) that were
+  /// assembled instead from cached finer-level chunks via the closure
+  /// property — the degraded-mode answer. Coordinates, counts, and min/max
+  /// are bit-identical to the healthy path; sums agree up to floating-point
+  /// summation order (the roll-up associates additions differently).
+  uint64_t degraded_answers = 0;
+
+  /// Chunk computations or waits cut short by this query's deadline.
+  uint64_t deadline_expired = 0;
+
   /// True when the query was answered without touching the backend.
   bool full_cache_hit = false;
 

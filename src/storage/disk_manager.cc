@@ -6,7 +6,38 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/crc32c.h"
+#include "common/fault_injector.h"
+
 namespace chunkcache::storage {
+
+// ---------------------------------------------------------------------------
+// Page checksums (shared by all DiskManager implementations)
+// ---------------------------------------------------------------------------
+
+void DiskManager::RecordPageChecksum(PageId id, const Page& page) {
+  const uint32_t crc = Crc32c(page.data.data(), kPageSize);
+  std::lock_guard<std::mutex> lock(crc_mu_);
+  page_crc_[id.AsU64()] = crc;
+}
+
+Status DiskManager::VerifyPageChecksum(PageId id, const Page& page) {
+  uint32_t expected;
+  {
+    std::lock_guard<std::mutex> lock(crc_mu_);
+    auto it = page_crc_.find(id.AsU64());
+    if (it == page_crc_.end()) return Status::OK();  // no coverage yet
+    expected = it->second;
+  }
+  if (Crc32c(page.data.data(), kPageSize) == expected) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.checksum_failures;
+  }
+  return Status::Corruption("page checksum mismatch at file " +
+                            std::to_string(id.file_id) + " page " +
+                            std::to_string(id.page_no));
+}
 
 // ---------------------------------------------------------------------------
 // InMemoryDiskManager
@@ -18,6 +49,7 @@ uint32_t InMemoryDiskManager::CreateFile() {
 }
 
 Result<PageId> InMemoryDiskManager::AllocatePage(uint32_t file_id) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskAlloc);
   if (file_id == 0 || file_id > files_.size()) {
     return Status::InvalidArgument("AllocatePage: unknown file id " +
                                    std::to_string(file_id));
@@ -25,12 +57,15 @@ Result<PageId> InMemoryDiskManager::AllocatePage(uint32_t file_id) {
   auto& pages = files_[file_id - 1];
   auto page = std::make_unique<Page>();
   page->Zero();
+  const PageId id{file_id, static_cast<uint32_t>(pages.size())};
+  RecordPageChecksum(id, *page);
   pages.push_back(std::move(page));
   CountAllocation();
-  return PageId{file_id, static_cast<uint32_t>(pages.size() - 1)};
+  return id;
 }
 
 Status InMemoryDiskManager::ReadPage(PageId id, Page* out) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskRead);
   if (id.file_id == 0 || id.file_id > files_.size()) {
     return Status::IoError("ReadPage: unknown file id");
   }
@@ -42,10 +77,17 @@ Status InMemoryDiskManager::ReadPage(PageId id, Page* out) {
   }
   *out = *pages[id.page_no];
   CountRead();
-  return Status::OK();
+  // Corrupt only the returned copy — the store stays clean, so a retry of
+  // the same read recovers (models a transient bus/DMA flip).
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.armed() && fi.ShouldInject(FaultSite::kDiskCorrupt)) {
+    fi.CorruptBuffer(out->data.data(), kPageSize);
+  }
+  return VerifyPageChecksum(id, *out);
 }
 
 Status InMemoryDiskManager::WritePage(PageId id, const Page& page) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskWrite);
   if (id.file_id == 0 || id.file_id > files_.size()) {
     return Status::IoError("WritePage: unknown file id");
   }
@@ -54,6 +96,7 @@ Status InMemoryDiskManager::WritePage(PageId id, const Page& page) {
     return Status::IoError("WritePage: page beyond EOF");
   }
   *pages[id.page_no] = page;
+  RecordPageChecksum(id, page);
   CountWrite();
   return Status::OK();
 }
@@ -213,6 +256,7 @@ uint32_t FileDiskManager::CreateFile() {
 }
 
 Result<PageId> FileDiskManager::AllocatePage(uint32_t file_id) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskAlloc);
   if (file_id == 0 || file_id > directory_.size()) {
     return Status::InvalidArgument("AllocatePage: unknown file id");
   }
@@ -222,11 +266,14 @@ Result<PageId> FileDiskManager::AllocatePage(uint32_t file_id) {
   zero.Zero();
   CHUNKCACHE_RETURN_IF_ERROR(PWritePage(fd_, slot, zero));
   pages.push_back(slot);
+  const PageId id{file_id, static_cast<uint32_t>(pages.size() - 1)};
+  RecordPageChecksum(id, zero);
   CountAllocation();
-  return PageId{file_id, static_cast<uint32_t>(pages.size() - 1)};
+  return id;
 }
 
 Status FileDiskManager::ReadPage(PageId id, Page* out) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskRead);
   if (id.file_id == 0 || id.file_id > directory_.size()) {
     return Status::IoError("ReadPage: unknown file id");
   }
@@ -235,10 +282,16 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
     return Status::IoError("ReadPage: page beyond EOF");
   }
   CountRead();
-  return PReadPage(fd_, pages[id.page_no], out);
+  CHUNKCACHE_RETURN_IF_ERROR(PReadPage(fd_, pages[id.page_no], out));
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.armed() && fi.ShouldInject(FaultSite::kDiskCorrupt)) {
+    fi.CorruptBuffer(out->data.data(), kPageSize);
+  }
+  return VerifyPageChecksum(id, *out);
 }
 
 Status FileDiskManager::WritePage(PageId id, const Page& page) {
+  CHUNKCACHE_FAULT_POINT(FaultSite::kDiskWrite);
   if (id.file_id == 0 || id.file_id > directory_.size()) {
     return Status::IoError("WritePage: unknown file id");
   }
@@ -247,7 +300,9 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
     return Status::IoError("WritePage: page beyond EOF");
   }
   CountWrite();
-  return PWritePage(fd_, pages[id.page_no], page);
+  CHUNKCACHE_RETURN_IF_ERROR(PWritePage(fd_, pages[id.page_no], page));
+  RecordPageChecksum(id, page);
+  return Status::OK();
 }
 
 uint32_t FileDiskManager::FilePageCount(uint32_t file_id) const {

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/cost_model.h"
+#include "common/inflight_table.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -307,6 +311,172 @@ TEST(CostModelTest, WorkCountersCompose) {
   EXPECT_EQ(d.pages_read, 10u);
   EXPECT_EQ(d.pages_written, 5u);
   EXPECT_EQ(d.tuples_processed, 100u);
+}
+
+// --------------------- deadlines, cancellation, retry -----------------------
+
+TEST(StatusTest, DeadlineAndCancelledFactories) {
+  Status d = Status::DeadlineExceeded("late");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: late");
+  Status c = Status::Cancelled("stop");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stop");
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::steady_clock::duration::max());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  Deadline past(std::chrono::steady_clock::now() -
+                std::chrono::milliseconds(1));
+  EXPECT_FALSE(past.infinite());
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining(), std::chrono::steady_clock::duration::zero());
+  EXPECT_FALSE(Deadline::AfterMs(60000).expired());
+  EXPECT_GT(Deadline::AfterUs(60000000).remaining(),
+            std::chrono::steady_clock::duration::zero());
+}
+
+TEST(CancellationTest, TokenObservesSource) {
+  CancellationSource src;
+  CancellationToken tok = src.token();
+  EXPECT_FALSE(tok.cancelled());
+  src.Cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_TRUE(src.cancelled());
+  // A default token can never be cancelled: "no cancellation" case.
+  EXPECT_FALSE(CancellationToken().cancelled());
+}
+
+TEST(ExecControlTest, CancelWinsOverExpiredDeadline) {
+  ExecControl ctrl;
+  EXPECT_TRUE(ctrl.Check().ok());
+  ctrl.deadline =
+      Deadline(std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_EQ(ctrl.Check().code(), StatusCode::kDeadlineExceeded);
+  CancellationSource src;
+  src.Cancel();
+  ctrl.cancel = src.token();
+  EXPECT_EQ(ctrl.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RetryTest, FirstAttemptSuccessDoesNotRetry) {
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RunWithRetry(RetryPolicy{}, ExecControl{}, &retries, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, RetryableFailureIsReattemptedOnResultPath) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 1;
+  policy.backoff_max_us = 10;
+  uint64_t retries = 0;
+  int calls = 0;
+  Result<int> r =
+      RunWithRetry(policy, ExecControl{}, &retries, [&]() -> Result<int> {
+        if (++calls < 3) return Status::IoError("flaky");
+        return 42;
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_us = 1;
+  policy.backoff_max_us = 5;
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RunWithRetry(policy, ExecControl{}, &retries, [&] {
+    ++calls;
+    return Status::IoError("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retries, 3u);
+}
+
+TEST(RetryTest, NonRetryableFailureReturnsImmediately) {
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RunWithRetry(RetryPolicy{}, ExecControl{}, &retries, [&] {
+    ++calls;
+    return Status::InvalidArgument("bad plan");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, CancellationInterruptsTheLoop) {
+  CancellationSource src;
+  ExecControl ctrl;
+  ctrl.cancel = src.token();
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_base_us = 1;
+  int calls = 0;
+  Status s = RunWithRetry(policy, ctrl, nullptr, [&] {
+    ++calls;
+    src.Cancel();  // cancel arrives while the attempt is in flight
+    return Status::IoError("flaky");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, DeadlineBoundsRetrying) {
+  ExecControl ctrl;
+  ctrl.deadline = Deadline::AfterMs(5);
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.backoff_base_us = 2000;
+  policy.backoff_max_us = 2000;
+  policy.jitter = 0;
+  int calls = 0;
+  Status s = RunWithRetry(policy, ctrl, nullptr, [&] {
+    ++calls;
+    return Status::IoError("down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(calls, 1);
+  EXPECT_LT(calls, 1000);
+}
+
+TEST(InflightWaitUntilTest, TimesOutThenStillReceivesAfterPublish) {
+  InflightTable<int, int> table;
+  auto owner = table.Acquire(5);
+  ASSERT_TRUE(owner.owner);
+  auto waiter = table.Acquire(5);
+  ASSERT_FALSE(waiter.owner);
+
+  auto timed_out = waiter.slot->WaitUntil(Deadline::AfterMs(5));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The timeout gave up the wait, not the slot: publish still delivers.
+  table.Publish(5, owner.slot, 11);
+  auto got = waiter.slot->WaitUntil(Deadline::AfterMs(1000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 11);
+  auto inf = owner.slot->WaitUntil(Deadline::Infinite());
+  ASSERT_TRUE(inf.ok());
+  EXPECT_EQ(*inf, 11);
 }
 
 }  // namespace

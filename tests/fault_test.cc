@@ -6,10 +6,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "backend/chunked_file.h"
 #include "backend/engine.h"
+#include "backend/scan_scheduler.h"
+#include "common/fault_injector.h"
+#include "common/retry.h"
 #include "core/chunk_cache_manager.h"
 #include "index/bitmap_index.h"
 #include "index/btree.h"
@@ -212,6 +226,545 @@ TEST(FaultTest, BitmapIndexReadFaultsPropagate) {
   disk.SetBudget(-1);
   ASSERT_TRUE(idx->ReadBitmap(3, &b).ok());
   EXPECT_EQ(b.CountSet(), 500u);
+}
+
+// ------------------- compiled-in fault-injection framework ------------------
+
+bool RowsEqual(const std::vector<backend::ResultRow>& a,
+               const std::vector<backend::ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].coords != b[i].coords || a[i].sum != b[i].sum ||
+        a[i].count != b[i].count || a[i].min_v != b[i].min_v ||
+        a[i].max_v != b[i].max_v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Like RowsEqual, but sums compare up to floating-point rounding: a chunk
+/// assembled from cached finer chunks adds the same measures in a different
+/// association order than a direct base scan, so its sum may differ in the
+/// last ulps (the repo's in-cache aggregation tests use the same latitude).
+/// Coordinates, counts, and min/max stay exact.
+bool RowsNear(const std::vector<backend::ResultRow>& a,
+              const std::vector<backend::ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].coords != b[i].coords || a[i].count != b[i].count ||
+        a[i].min_v != b[i].min_v || a[i].max_v != b[i].max_v) {
+      return false;
+    }
+    const double tol = 1e-9 * std::max(1.0, std::abs(a[i].sum));
+    if (std::abs(a[i].sum - b[i].sum) > tol) return false;
+  }
+  return true;
+}
+
+/// The injector is process-wide; restore it to pristine on entry and exit
+/// of every test so a failing test cannot leak armed sites into successors.
+struct InjectorReset {
+  InjectorReset() { Reset(); }
+  ~InjectorReset() { Reset(); }
+  static void Reset() {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+};
+
+TEST(FaultInjectorTest, DisarmedInjectorNeverFires) {
+  InjectorReset guard;
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_TRUE(fi.Check(FaultSite::kDiskRead).ok());
+  EXPECT_FALSE(fi.ShouldInject(FaultSite::kFactScan));
+  EXPECT_EQ(fi.faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, BudgetAndSkipAreExact) {
+  InjectorReset guard;
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm(FaultSite::kDiskRead, 1.0, StatusCode::kIoError, /*max_faults=*/3,
+         /*skip_ops=*/2);
+  EXPECT_TRUE(fi.armed());
+  int faults = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!fi.Check(FaultSite::kDiskRead).ok()) ++faults;
+  }
+  // Ops 0-1 skipped, ops 2-4 fault, then the budget is spent.
+  EXPECT_EQ(faults, 3);
+  EXPECT_EQ(fi.faults_injected(FaultSite::kDiskRead), 3u);
+  EXPECT_EQ(fi.checks(), 10u);
+
+  // The surfaced status carries the configured code and names the site.
+  fi.Arm(FaultSite::kAggScan, 1.0, StatusCode::kResourceExhausted);
+  Status s = fi.Check(FaultSite::kAggScan);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("agg-scan"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, SeededDrawsReproduceOnOneThread) {
+  InjectorReset guard;
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm(FaultSite::kFactScan, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(fi.Check(FaultSite::kFactScan).ok());
+  }
+  fi.Arm(FaultSite::kFactScan, 0.5);
+  fi.Seed(1234);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(!fi.Check(FaultSite::kFactScan).ok());
+  }
+  fi.Seed(1234);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(!fi.Check(FaultSite::kFactScan).ok(), first[i]) << i;
+  }
+}
+
+TEST(FaultInjectorTest, ChecksumTurnsBitFlipsIntoCorruption) {
+  InjectorReset guard;
+  InMemoryDiskManager disk;
+  const uint32_t file_id = disk.CreateFile();
+  auto id = disk.AllocatePage(file_id);
+  ASSERT_TRUE(id.ok());
+  Page p;
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    p.data[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(disk.WritePage(*id, p).ok());
+
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm(FaultSite::kDiskCorrupt, 1.0, StatusCode::kIoError, /*max_faults=*/1);
+  Page out;
+  Status s = disk.ReadPage(*id, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(disk.stats().checksum_failures, 1u);
+
+  // The flip hit the served copy, not the store: a retry reads clean.
+  Page again;
+  ASSERT_TRUE(disk.ReadPage(*id, &again).ok());
+  EXPECT_EQ(std::memcmp(again.data.data(), p.data.data(), p.data.size()), 0);
+}
+
+/// Backend + middle tier over a healthy in-memory disk; faults come from
+/// the compiled-in injection sites rather than a decorator, so the whole
+/// production stack (checksums, retries, degraded mode) is exercised.
+class RobustTierFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 10000;
+
+  void SetUp() override {
+    InjectorReset::Reset();
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    chunks::ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = chunks::ChunkingScheme::Build(schema_.get(), copts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ =
+        std::make_unique<chunks::ChunkingScheme>(std::move(scheme).value());
+    pool_ = std::make_unique<BufferPool>(&disk_, 512);
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 7;
+    auto file = backend::ChunkedFile::BulkLoad(
+        pool_.get(), scheme_.get(), schema::GenerateFactTuples(*schema_, gen));
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(
+        pool_.get(), file_.get(), scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+    // All pages clean: the storm workload is read-only, so armed write
+    // faults cannot be triggered by background eviction of load-time dirt.
+    ASSERT_TRUE(pool_->FlushAll().ok());
+  }
+
+  void TearDown() override { InjectorReset::Reset(); }
+
+  core::ChunkManagerOptions FastRetryOptions() const {
+    core::ChunkManagerOptions opts;
+    opts.retry.backoff_base_us = 20;
+    opts.retry.backoff_max_us = 200;
+    return opts;
+  }
+
+  backend::StarJoinQuery FullDomainQuery(const chunks::GroupBySpec& gb) const {
+    backend::StarJoinQuery q;
+    q.group_by = gb;
+    for (uint32_t d = 0; d < schema_->num_dims(); ++d) {
+      q.selection[d] = {
+          0, schema_->dimension(d).hierarchy.LevelCardinality(gb.levels[d]) -
+                 1};
+    }
+    return q;
+  }
+
+  backend::StarJoinQuery CoarseQuery() const {
+    return FullDomainQuery(chunks::GroupBySpec{{2, 1, 2, 1}, 4});
+  }
+
+  InMemoryDiskManager disk_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<chunks::ChunkingScheme> scheme_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+TEST_F(RobustTierFixture, RetryRecoversFromTransientFaults) {
+  core::ChunkCacheManager tier(engine_.get(), FastRetryOptions());
+  const auto q = CoarseQuery();
+  core::QueryStats stats;
+  auto ref = tier.Execute(q, &stats);
+  ASSERT_TRUE(ref.ok());
+  tier.chunk_cache().Clear();
+
+  // Two admission faults, default policy of three attempts: the query
+  // must recover on the last attempt without surfacing any error.
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm(FaultSite::kScanAdmit, 1.0, StatusCode::kResourceExhausted,
+         /*max_faults=*/2);
+  core::QueryStats retry_stats;
+  auto rows = tier.Execute(q, &retry_stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(RowsEqual(*rows, *ref));
+  EXPECT_EQ(retry_stats.retries, 2u);
+  EXPECT_EQ(fi.faults_injected(FaultSite::kScanAdmit), 2u);
+
+  const auto snap = tier.StatsSnapshot();
+  EXPECT_GE(snap.retries, 2u);
+  EXPECT_GE(snap.faults_injected, 2u);
+}
+
+TEST_F(RobustTierFixture, DegradedModeAnswersFromFinerChunks) {
+  const auto opts = FastRetryOptions();
+  core::ChunkCacheManager tier(engine_.get(), opts);
+  core::ChunkCacheManager reference(engine_.get(), opts);
+
+  const auto coarse = CoarseQuery();
+  core::QueryStats ref_stats;
+  auto ref = reference.Execute(coarse, &ref_stats);
+  ASSERT_TRUE(ref.ok());
+
+  // Warm the cache with the full base-level domain — strictly finer than
+  // the coarse query in every dimension, so the closure property applies.
+  const auto fine = FullDomainQuery(chunks::GroupBySpec{{3, 2, 3, 2}, 4});
+  core::QueryStats warm_stats;
+  ASSERT_TRUE(tier.Execute(fine, &warm_stats).ok());
+  EXPECT_GT(warm_stats.chunks_from_backend, 0u);
+
+  // Kill the backend at both scan layers.
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm(FaultSite::kFactScan, 1.0);
+  fi.Arm(FaultSite::kAggScan, 1.0);
+
+  core::QueryStats stats;
+  auto rows = tier.Execute(coarse, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(RowsNear(*rows, *ref));
+  EXPECT_EQ(stats.chunks_from_backend, 0u);
+  EXPECT_EQ(stats.degraded_answers, stats.chunks_needed);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(tier.StatsSnapshot().degraded_answers, stats.degraded_answers);
+
+  // The degraded answer is exactly what the healthy in-cache-aggregation
+  // extension produces from the same cached chunks — bit-for-bit: the
+  // closure-property roll-up is one deterministic code path, degraded
+  // mode only changes when it runs.
+  auto agg_opts = opts;
+  agg_opts.enable_in_cache_aggregation = true;
+  core::ChunkCacheManager agg_tier(engine_.get(), agg_opts);
+  fi.DisarmAll();
+  core::QueryStats agg_warm;
+  ASSERT_TRUE(agg_tier.Execute(fine, &agg_warm).ok());
+  core::QueryStats agg_stats;
+  auto agg_rows = agg_tier.Execute(coarse, &agg_stats);
+  ASSERT_TRUE(agg_rows.ok());
+  EXPECT_GT(agg_stats.chunks_from_aggregation, 0u);
+  EXPECT_TRUE(RowsEqual(*rows, *agg_rows));
+  fi.Arm(FaultSite::kFactScan, 1.0);
+  fi.Arm(FaultSite::kAggScan, 1.0);
+
+  // Without a cached closure set the same dead backend is a clean error.
+  tier.chunk_cache().Clear();
+  core::QueryStats cold;
+  auto dead = tier.Execute(coarse, &cold);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kIoError);
+
+  fi.DisarmAll();
+  core::QueryStats healthy_stats;
+  auto healthy = tier.Execute(coarse, &healthy_stats);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(RowsEqual(*healthy, *ref));
+}
+
+TEST_F(RobustTierFixture, ExpiredControlFailsFastWithoutPoisoningInflight) {
+  core::ChunkCacheManager tier(engine_.get(), FastRetryOptions());
+  const auto q = CoarseQuery();
+
+  ExecControl expired;
+  expired.deadline = Deadline(std::chrono::steady_clock::now() -
+                              std::chrono::milliseconds(1));
+  core::QueryStats stats;
+  auto rows = tier.Execute(q, &stats, expired);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+
+  CancellationSource source;
+  source.Cancel();
+  ExecControl cancelled;
+  cancelled.cancel = source.token();
+  auto c = tier.Execute(q, &stats, cancelled);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kCancelled);
+
+  // Neither failure claimed an in-flight slot: the same query runs clean
+  // immediately, with no dead owner to time out on.
+  core::QueryStats ok_stats;
+  auto ok = tier.Execute(q, &ok_stats);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_GT(ok->size(), 0u);
+}
+
+// ---------------------- scheduler admission deadlines -----------------------
+
+/// DiskManager decorator whose gate blocks ReadPage while closed; holds a
+/// scheduler leader mid-scan so a second batch queues deterministically.
+class GateDiskManager final : public DiskManager {
+ public:
+  explicit GateDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  int blocked_readers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_;
+  }
+
+  uint32_t CreateFile() override { return inner_->CreateFile(); }
+  Result<PageId> AllocatePage(uint32_t file_id) override {
+    return inner_->AllocatePage(file_id);
+  }
+  Status ReadPage(PageId id, Page* out) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!open_) {
+        ++blocked_;
+        cv_.wait(lock, [&] { return open_; });
+        --blocked_;
+      }
+    }
+    return inner_->ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    return inner_->WritePage(id, page);
+  }
+  uint32_t FilePageCount(uint32_t file_id) const override {
+    return inner_->FilePageCount(file_id);
+  }
+
+ private:
+  DiskManager* inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  int blocked_ = 0;
+};
+
+TEST(SchedulerDeadlineTest, QueuedLeaderShedsWhenDeadlineExpires) {
+  InjectorReset guard;
+  auto s = schema::BuildPaperSchema();
+  ASSERT_TRUE(s.ok());
+  auto schema = std::make_unique<schema::StarSchema>(std::move(s).value());
+  chunks::ChunkingOptions copts;
+  copts.range_fraction = 0.2;
+  auto scheme = chunks::ChunkingScheme::Build(schema.get(), copts, 6000);
+  ASSERT_TRUE(scheme.ok());
+  InMemoryDiskManager disk;
+  GateDiskManager gate(&disk);
+  // Tiny pool: reads cannot hide in the buffer pool, so the gate always
+  // reaches the disk layer.
+  BufferPool pool(&gate, 4);
+  schema::FactGenOptions gen;
+  gen.num_tuples = 6000;
+  gen.seed = 7;
+  auto file = backend::ChunkedFile::BulkLoad(
+      &pool, &*scheme, schema::GenerateFactTuples(*schema, gen));
+  ASSERT_TRUE(file.ok());
+  backend::BackendEngine engine(&pool, &*file, &*scheme);
+  ASSERT_TRUE(engine.BuildBitmapIndexes().ok());
+
+  backend::ScanSchedulerOptions sopts;
+  sopts.max_outstanding_scans = 1;
+  backend::ScanScheduler sched(&engine, sopts);
+
+  // An already-expired control is refused at admission without queueing.
+  {
+    ExecControl dead;
+    dead.deadline = Deadline(std::chrono::steady_clock::now());
+    WorkCounters work;
+    auto res = sched.Compute(chunks::GroupBySpec{{2, 1, 1, 1}, 4}, {0}, {},
+                             &work);
+    ASSERT_TRUE(res.ok());  // sanity: the scan itself works when ungated
+    auto refused = sched.Compute(chunks::GroupBySpec{{2, 1, 1, 1}, 4}, {0},
+                                 {}, &work, nullptr, &dead);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kDeadlineExceeded);
+  }
+
+  // Drop every pooled page so the gated leader is guaranteed to reach the
+  // disk layer (the sanity scan above may have pooled the hot pages).
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+
+  gate.CloseGate();
+  WorkCounters work_a;
+  Result<std::vector<backend::ChunkData>> res_a =
+      Status::Internal("not yet run");
+  std::thread leader([&] {
+    res_a = sched.Compute(chunks::GroupBySpec{{1, 1, 1, 1}, 4}, {0}, {},
+                          &work_a);
+  });
+  bool reached_gate = false;
+  for (int i = 0; i < 10000 && !reached_gate; ++i) {
+    reached_gate = gate.blocked_readers() > 0;
+    if (!reached_gate) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!reached_gate) {
+    gate.OpenGate();
+    leader.join();
+    FAIL() << "leader never reached the gated disk";
+  }
+
+  // The second batch (different group-by, so it cannot merge) never gets
+  // the single scan slot; its deadline sheds it instead of wedging.
+  ExecControl ctrl;
+  ctrl.deadline = Deadline::AfterMs(100);
+  WorkCounters work_b;
+  auto res_b = sched.Compute(chunks::GroupBySpec{{3, 1, 1, 1}, 4}, {0}, {},
+                             &work_b, nullptr, &ctrl);
+  ASSERT_FALSE(res_b.ok());
+  EXPECT_EQ(res_b.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(sched.stats().deadline_sheds, 1u);
+
+  gate.OpenGate();
+  leader.join();
+  ASSERT_TRUE(res_a.ok()) << res_a.status().ToString();
+  ASSERT_EQ(res_a->size(), 1u);
+}
+
+// ------------------------------- fault storm --------------------------------
+
+class FaultStorm : public RobustTierFixture {};
+
+TEST_F(FaultStorm, SeededStormNeverCorruptsAndRecoversBitIdentical) {
+  auto opts = FastRetryOptions();
+  opts.num_workers = 2;
+  opts.cache_shards = 4;
+  core::ChunkCacheManager tier(engine_.get(), opts);
+
+  std::vector<backend::StarJoinQuery> queries;
+  queries.push_back(CoarseQuery());
+  {
+    auto q = CoarseQuery();
+    q.selection[0] = {10, 39};
+    q.selection[2] = {5, 19};
+    queries.push_back(q);
+  }
+  queries.push_back(FullDomainQuery(chunks::GroupBySpec{{1, 1, 1, 1}, 4}));
+  {
+    auto q = FullDomainQuery(chunks::GroupBySpec{{3, 2, 3, 2}, 4});
+    q.selection[0] = {0, 59};
+    queries.push_back(q);
+  }
+  queries.push_back(FullDomainQuery(chunks::GroupBySpec{{2, 2, 1, 2}, 4}));
+
+  // Healthy reference answers.
+  std::vector<std::vector<backend::ResultRow>> ref;
+  for (const auto& q : queries) {
+    core::QueryStats s;
+    auto rows = tier.Execute(q, &s);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ref.push_back(std::move(*rows));
+  }
+
+  int iters = 3;  // CI's fault_storm target raises this via the environment
+  if (const char* env = std::getenv("CHUNKCACHE_STORM_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) iters = parsed;
+  }
+  constexpr int kThreads = 3;
+
+  FaultInjector& fi = FaultInjector::Global();
+  for (int iter = 0; iter < iters; ++iter) {
+    fi.Seed(0xC0FFEE00ull + static_cast<uint64_t>(iter));
+    fi.ResetCounters();
+    fi.ArmAll(0.02);
+    tier.chunk_cache().Clear();  // force backend traffic under fire
+
+    std::mutex err_mu;
+    std::vector<std::string> violations;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          ExecControl ctrl;
+          if ((t + static_cast<int>(qi)) % 3 == 0) {
+            ctrl.deadline = Deadline::AfterMs(500);
+          }
+          core::QueryStats s;
+          auto rows = tier.Execute(queries[qi], &s, ctrl);
+          if (rows.ok()) {
+            // A query that answers at all must answer exactly: injected
+            // faults may fail queries but never corrupt results. (Sums
+            // compare up to fp rounding — degraded answers re-associate.)
+            if (!RowsNear(*rows, ref[qi])) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              violations.push_back("wrong rows for query " +
+                                   std::to_string(qi));
+            }
+          } else {
+            const StatusCode code = rows.status().code();
+            if (code != StatusCode::kIoError &&
+                code != StatusCode::kCorruption &&
+                code != StatusCode::kResourceExhausted &&
+                code != StatusCode::kDeadlineExceeded) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              violations.push_back("unexpected status: " +
+                                   rows.status().ToString());
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_TRUE(violations.empty()) << violations.front();
+    EXPECT_GT(fi.checks(), 0u);
+
+    // Faults off: every answer must come back, bit-identical to healthy.
+    fi.DisarmAll();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      core::QueryStats s;
+      auto rows = tier.Execute(queries[qi], &s);
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      EXPECT_TRUE(RowsNear(*rows, ref[qi]))
+          << "query " << qi << " iteration " << iter;
+    }
+  }
 }
 
 }  // namespace

@@ -50,7 +50,10 @@ void PrintHelp() {
       "star-join SQL:\n"
       "  SELECT D0.L2, D3.L2, SUM(dollar_sales) FROM Sales, D0, D3\n"
       "  WHERE D0.L2 BETWEEN 'D0.2.5' AND 'D0.2.25' GROUP BY D0.L2, D3.L2\n"
-      "dot-commands: .schema  .cache  .stats  .reset  .help  .quit\n");
+      "dot-commands: .schema  .cache  .stats  .metrics  .trace [n]  .reset\n"
+      "              .help  .quit\n"
+      "  .metrics    Prometheus-style export of every registered metric\n"
+      "  .trace [n]  span trees of the last n queries (default 1), JSONL\n");
 }
 
 }  // namespace
@@ -82,8 +85,9 @@ int main(int argc, char** argv) {
   if (!engine.BuildBitmapIndexes().ok()) return 1;
   core::ChunkManagerOptions mopts;
   mopts.enable_in_cache_aggregation = true;
-  mopts.num_workers = 4;   // parallel miss pipeline
-  mopts.cache_shards = 8;  // sharded, thread-safe chunk cache
+  mopts.num_workers = 4;     // parallel miss pipeline
+  mopts.cache_shards = 8;    // sharded, thread-safe chunk cache
+  mopts.trace_capacity = 64;  // per-query span trees for .trace
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
 
@@ -179,6 +183,35 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.degraded_answers,
                   (unsigned long long)cs.deadline_expired,
                   (unsigned long long)cs.checksum_failures);
+      const MetricsRegistry::Snapshot ms = tier.metrics().TakeSnapshot();
+      auto lat = ms.histograms.find("query.latency_ns");
+      if (lat != ms.histograms.end() && lat->second.count > 0) {
+        const HistogramSnapshot& h = lat->second;
+        std::printf("latency: queries=%llu mean=%.2fms p50=%.2fms "
+                    "p95=%.2fms p99=%.2fms\n",
+                    (unsigned long long)h.count, h.Mean() / 1e6,
+                    h.Quantile(0.5) / 1e6, h.Quantile(0.95) / 1e6,
+                    h.Quantile(0.99) / 1e6);
+      }
+      continue;
+    }
+    if (line == ".metrics") {
+      // The snapshot folds the natively-atomic subsystem counters into
+      // registry gauges, so the export below is complete.
+      (void)tier.StatsSnapshot();
+      std::fputs(tier.metrics().ExportPrometheus().c_str(), stdout);
+      continue;
+    }
+    if (line == ".trace" || line.rfind(".trace ", 0) == 0) {
+      size_t n = 1;
+      if (line.size() > 7) n = std::strtoull(line.c_str() + 7, nullptr, 10);
+      if (n == 0) n = 1;
+      TraceRecorder* rec = tier.trace_recorder();
+      if (rec == nullptr || rec->recorded() == 0) {
+        std::printf("no traces recorded yet\n");
+        continue;
+      }
+      std::fputs(rec->ExportJsonl(n).c_str(), stdout);
       continue;
     }
     if (line == ".reset") {

@@ -1,6 +1,7 @@
 #include "backend/scan_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/fault_injector.h"
@@ -8,13 +9,26 @@
 
 namespace chunkcache::backend {
 
-ScanScheduler::ScanScheduler(BackendEngine* engine,
-                             ScanSchedulerOptions options)
-    : engine_(engine), options_(options) {
+ScanScheduler::ScanScheduler(BackendEngine* engine, ScanSchedulerOptions options,
+                             MetricsRegistry* metrics)
+    : engine_(engine), options_(options), metrics_(metrics) {
   CHUNKCACHE_CHECK(engine_ != nullptr);
   options_.max_outstanding_scans =
       std::max<uint32_t>(1, options_.max_outstanding_scans);
   options_.max_queue_depth = std::max<uint32_t>(1, options_.max_queue_depth);
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  requests_ = metrics_->GetCounter("scheduler.requests");
+  merged_requests_ = metrics_->GetCounter("scheduler.merged_requests");
+  batches_ = metrics_->GetCounter("scheduler.batches");
+  completions_ = metrics_->GetCounter("scheduler.completions");
+  deadline_sheds_ = metrics_->GetCounter("scheduler.deadline_sheds");
+  request_errors_ = metrics_->GetCounter("scheduler.request_errors");
+  queue_depth_hwm_ = metrics_->GetGauge("scheduler.queue_depth_hwm");
+  outstanding_hwm_ = metrics_->GetGauge("scheduler.outstanding_hwm");
+  scan_ns_ = metrics_->GetHistogram("scheduler.scan_ns");
 }
 
 std::shared_ptr<ScanScheduler::Batch> ScanScheduler::FindJoinableLocked(
@@ -122,7 +136,7 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
   bool leader = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    ++stats_.requests;
+    requests_->Increment();
     batch = FindJoinableLocked(target, non_group_by);
     if (batch == nullptr) {
       // Back-pressure: creating a new batch needs room in the open queue.
@@ -131,22 +145,21 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
             return open_.size() < options_.max_queue_depth;
           })) {
         // Nothing joined yet — this request simply never got in the door.
-        ++stats_.deadline_sheds;
+        deadline_sheds_->Increment();
         return Status::DeadlineExceeded("scan admission queue full");
       }
       batch = FindJoinableLocked(target, non_group_by);
     }
     if (batch != nullptr) {
       batch->requests.push_back(&req);
-      ++stats_.merged_requests;
+      merged_requests_->Increment();
     } else {
       batch = std::make_shared<Batch>();
       batch->target = target;
       batch->preds = non_group_by;
       batch->requests.push_back(&req);
       open_.push_back(batch);
-      stats_.queue_depth_hwm =
-          std::max<uint64_t>(stats_.queue_depth_hwm, open_.size());
+      queue_depth_hwm_->SetMax(static_cast<int64_t>(open_.size()));
       leader = true;
 
       // Admission: the batch stays open (joinable) until a scan slot
@@ -161,17 +174,16 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
         batch->finished = true;
         batch->status = Status::DeadlineExceeded("scan slot wait timed out");
         open_.remove(batch);
-        ++stats_.deadline_sheds;
+        deadline_sheds_->Increment();
         lock.unlock();
         cv_.notify_all();
         return batch->status;
       }
       ++outstanding_;
-      stats_.outstanding_hwm =
-          std::max<uint64_t>(stats_.outstanding_hwm, outstanding_);
+      outstanding_hwm_->SetMax(static_cast<int64_t>(outstanding_));
       batch->closed = true;
       open_.remove(batch);
-      ++stats_.batches;
+      batches_->Increment();
       // Union of every requester's chunks, deduped and ascending — the
       // order that maximizes run merging in the engine.
       for (const Request* r : batch->requests) {
@@ -189,8 +201,13 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
     // potentially long scan.
     cv_.notify_all();
     WorkCounters batch_work;
+    const auto scan_t0 = std::chrono::steady_clock::now();
     auto out = engine_->ComputeChunks(batch->target, union_nums, batch->preds,
                                       &batch_work, executor);
+    scan_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - scan_t0)
+            .count()));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --outstanding_;
@@ -210,7 +227,7 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
         // the batch (req lives on this stack frame).
         auto& reqs = batch->requests;
         reqs.erase(std::remove(reqs.begin(), reqs.end(), &req), reqs.end());
-        ++stats_.deadline_sheds;
+        deadline_sheds_->Increment();
         return Status::DeadlineExceeded("scan batch wait timed out");
       }
       // Closed: the merged scan is already running with this request
@@ -220,25 +237,49 @@ Result<std::vector<ChunkData>> ScanScheduler::Compute(
     }
   }
 
-  if (!batch->status.ok()) return batch->status;
+  // The single exit every batch participant funnels through: classify the
+  // request's terminal outcome so requests == completions + sheds + errors.
+  // (A shed leader and withdrawn/never-admitted requesters returned above,
+  // counting their shed at the return site.)
+  if (!batch->status.ok()) {
+    if (batch->status.code() == StatusCode::kDeadlineExceeded) {
+      deadline_sheds_->Increment();
+    } else {
+      request_errors_->Increment();
+    }
+    return batch->status;
+  }
+  completions_->Increment();
   *work += req.work;
   return std::move(req.result);
 }
 
 ScanSchedulerStats ScanScheduler::stats() const {
+  ScanSchedulerStats s;
+  s.requests = requests_->Value();
+  s.merged_requests = merged_requests_->Value();
+  s.batches = batches_->Value();
+  s.completions = completions_->Value();
+  s.deadline_sheds = deadline_sheds_->Value();
+  s.request_errors = request_errors_->Value();
+  s.queue_depth_hwm = static_cast<uint64_t>(queue_depth_hwm_->Value());
+  s.outstanding_hwm = static_cast<uint64_t>(outstanding_hwm_->Value());
   std::lock_guard<std::mutex> lock(mu_);
-  ScanSchedulerStats s = stats_;
   s.outstanding_scans = outstanding_;
   s.queue_depth = open_.size();
   return s;
 }
 
 void ScanScheduler::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint32_t outstanding = outstanding_;
-  stats_ = ScanSchedulerStats{};
-  stats_.outstanding_scans = outstanding;
-  stats_.queue_depth = open_.size();
+  requests_->Reset();
+  merged_requests_->Reset();
+  batches_->Reset();
+  completions_->Reset();
+  deadline_sheds_->Reset();
+  request_errors_->Reset();
+  queue_depth_hwm_->Reset();
+  outstanding_hwm_->Reset();
+  scan_ns_->Reset();
 }
 
 }  // namespace chunkcache::backend

@@ -12,6 +12,7 @@
 #include "backend/star_join_query.h"
 #include "chunks/group_by_spec.h"
 #include "common/cost_model.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -33,11 +34,18 @@ struct ScanSchedulerOptions {
 
 /// Scheduler counters. `outstanding_scans` and `queue_depth` are the
 /// current values (for polling in tests); the rest are cumulative.
+///
+/// Every admitted request ends in exactly one of three terminal outcomes,
+/// so once the scheduler quiesces
+///   requests == completions + deadline_sheds + request_errors
+/// holds exactly (stats_invariant_test checks it, faults included).
 struct ScanSchedulerStats {
   uint64_t requests = 0;         ///< Compute calls routed through.
   uint64_t merged_requests = 0;  ///< Calls that joined an existing batch.
   uint64_t batches = 0;          ///< Backend scans actually issued.
-  uint64_t deadline_sheds = 0;   ///< Requests/batches given up at deadline.
+  uint64_t completions = 0;      ///< Requests that returned chunk data.
+  uint64_t deadline_sheds = 0;   ///< Requests given up at a deadline.
+  uint64_t request_errors = 0;   ///< Requests failed by a batch error.
   uint64_t queue_depth_hwm = 0;
   uint64_t outstanding_hwm = 0;
   uint64_t outstanding_scans = 0;
@@ -69,7 +77,10 @@ struct ScanSchedulerStats {
 /// leader. No thread waits while holding a slot it isn't using.
 class ScanScheduler {
  public:
-  ScanScheduler(BackendEngine* engine, ScanSchedulerOptions options);
+  /// Cumulative statistics live on `metrics` (under "scheduler." names);
+  /// passing nullptr gives the scheduler a private registry.
+  ScanScheduler(BackendEngine* engine, ScanSchedulerOptions options,
+                MetricsRegistry* metrics = nullptr);
 
   ScanScheduler(const ScanScheduler&) = delete;
   ScanScheduler& operator=(const ScanScheduler&) = delete;
@@ -134,11 +145,24 @@ class ScanScheduler {
   BackendEngine* engine_;
   ScanSchedulerOptions options_;
 
+  // Registry-backed cumulative counters ("scheduler.*"); mu_ guards only
+  // the batching state, never the statistics.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* requests_ = nullptr;
+  Counter* merged_requests_ = nullptr;
+  Counter* batches_ = nullptr;
+  Counter* completions_ = nullptr;
+  Counter* deadline_sheds_ = nullptr;
+  Counter* request_errors_ = nullptr;
+  Gauge* queue_depth_hwm_ = nullptr;
+  Gauge* outstanding_hwm_ = nullptr;
+  Histogram* scan_ns_ = nullptr;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::list<std::shared_ptr<Batch>> open_;
   uint32_t outstanding_ = 0;
-  ScanSchedulerStats stats_;
 };
 
 }  // namespace chunkcache::backend

@@ -16,17 +16,20 @@ uint32_t RoundUpPow2(uint32_t n) {
 }  // namespace
 
 ChunkCache::ChunkCache(uint64_t capacity_bytes,
-                       std::unique_ptr<ReplacementPolicy> policy)
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       MetricsRegistry* metrics)
     : capacity_bytes_(capacity_bytes) {
   CHUNKCACHE_CHECK(policy != nullptr);
   auto shard = std::make_unique<Shard>();
   shard->policy = std::move(policy);
   shard->capacity_bytes = capacity_bytes;
   shards_.push_back(std::move(shard));
+  metrics_ = metrics;
+  WireMetrics();
 }
 
 ChunkCache::ChunkCache(uint64_t capacity_bytes, const std::string& policy,
-                       uint32_t num_shards)
+                       uint32_t num_shards, MetricsRegistry* metrics)
     : capacity_bytes_(capacity_bytes) {
   const uint32_t n = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
   shards_.reserve(n);
@@ -37,6 +40,24 @@ ChunkCache::ChunkCache(uint64_t capacity_bytes, const std::string& policy,
     shard->capacity_bytes = capacity_bytes / n;
     shards_.push_back(std::move(shard));
   }
+  metrics_ = metrics;
+  WireMetrics();
+}
+
+void ChunkCache::WireMetrics() {
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  insertions_ = metrics_->GetCounter("cache.insertions");
+  evictions_ = metrics_->GetCounter("cache.evictions");
+  rejected_ = metrics_->GetCounter("cache.rejected");
+  lock_wait_ns_ = metrics_->GetHistogram("cache.lock_wait_ns");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "cache.shard" + std::to_string(i);
+    shards_[i]->lookups = metrics_->GetCounter(prefix + ".lookups");
+    shards_[i]->hits = metrics_->GetCounter(prefix + ".hits");
+  }
 }
 
 std::unique_lock<std::mutex> ChunkCache::LockShard(const Shard& s) const {
@@ -45,9 +66,8 @@ std::unique_lock<std::mutex> ChunkCache::LockShard(const Shard& s) const {
     const auto t0 = std::chrono::steady_clock::now();
     lock.lock();
     const auto waited = std::chrono::steady_clock::now() - t0;
-    contention_ns_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count(),
-        std::memory_order_relaxed);
+    lock_wait_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count()));
   }
   return lock;
 }
@@ -57,10 +77,10 @@ ChunkHandle ChunkCache::Lookup(uint32_t group_by_id, uint64_t chunk_num,
   const Key key{group_by_id, chunk_num, filter_hash};
   Shard& s = ShardFor(key);
   auto lock = LockShard(s);
-  ++s.lookups;
+  s.lookups->Increment();
   auto it = s.by_key.find(key);
   if (it == s.by_key.end()) return nullptr;
-  ++s.hits;
+  s.hits->Increment();
   s.policy->OnAccess(it->second);
   return s.by_handle.at(it->second);
 }
@@ -118,7 +138,7 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
   const uint64_t bytes = chunk->ByteSize();
   auto lock = LockShard(s);
   if (bytes > s.capacity_bytes) {
-    ++s.rejected;
+    rejected_->Increment();
     return;
   }
   // Replace an existing entry for the same key.
@@ -130,10 +150,10 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
     auto victim = s.policy->PickVictim(chunk->benefit);
     if (!victim) break;  // empty shard; nothing to evict
     EraseLocked(s, *victim);
-    ++s.evictions;
+    evictions_->Increment();
   }
   if (s.bytes_used + bytes > s.capacity_bytes) {
-    ++s.rejected;
+    rejected_->Increment();
     return;
   }
   const uint64_t handle = s.next_handle++;
@@ -142,7 +162,7 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
   s.by_key[key] = handle;
   s.bytes_used += bytes;
   s.by_handle.emplace(handle, std::move(chunk));
-  ++s.insertions;
+  insertions_->Increment();
 }
 
 void ChunkCache::Clear() {
@@ -184,33 +204,34 @@ ChunkCacheStats ChunkCache::stats() const {
   ChunkCacheStats out;
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    out.lookups += shard->lookups;
-    out.hits += shard->hits;
-    out.insertions += shard->insertions;
-    out.evictions += shard->evictions;
-    out.rejected += shard->rejected;
     ChunkShardStats per;
-    per.lookups = shard->lookups;
-    per.hits = shard->hits;
-    per.chunks = shard->by_key.size();
-    per.bytes_used = shard->bytes_used;
+    per.lookups = shard->lookups->Value();
+    per.hits = shard->hits->Value();
+    {
+      auto lock = LockShard(*shard);
+      per.chunks = shard->by_key.size();
+      per.bytes_used = shard->bytes_used;
+    }
+    out.lookups += per.lookups;
+    out.hits += per.hits;
     out.shards.push_back(per);
   }
-  out.contention_ns = contention_ns_.load(std::memory_order_relaxed);
+  out.insertions = insertions_->Value();
+  out.evictions = evictions_->Value();
+  out.rejected = rejected_->Value();
+  out.contention_ns = lock_wait_ns_->Snapshot().sum;
   return out;
 }
 
 void ChunkCache::ResetStats() {
   for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    shard->lookups = 0;
-    shard->hits = 0;
-    shard->insertions = 0;
-    shard->evictions = 0;
-    shard->rejected = 0;
+    shard->lookups->Reset();
+    shard->hits->Reset();
   }
-  contention_ns_.store(0, std::memory_order_relaxed);
+  insertions_->Reset();
+  evictions_->Reset();
+  rejected_->Reset();
+  lock_wait_ns_->Reset();
 }
 
 }  // namespace chunkcache::cache

@@ -11,6 +11,7 @@
 
 #include "cache/replacement.h"
 #include "chunks/group_by_spec.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/agg_columns.h"
 #include "storage/tuple.h"
@@ -157,15 +158,18 @@ struct ChunkCacheStats {
 class ChunkCache {
  public:
   /// Single-shard cache using the given policy instance (the serial
-  /// configuration; exact legacy semantics).
+  /// configuration; exact legacy semantics). All statistics live on
+  /// `metrics` (under "cache." names); passing nullptr gives the cache a
+  /// private registry so its stats stay attributable.
   ChunkCache(uint64_t capacity_bytes,
-             std::unique_ptr<ReplacementPolicy> policy);
+             std::unique_ptr<ReplacementPolicy> policy,
+             MetricsRegistry* metrics = nullptr);
 
   /// Sharded cache: `num_shards` is rounded up to a power of two, and each
   /// shard gets its own `MakePolicy(policy)` instance and an equal slice
   /// of `capacity_bytes`.
   ChunkCache(uint64_t capacity_bytes, const std::string& policy,
-             uint32_t num_shards);
+             uint32_t num_shards, MetricsRegistry* metrics = nullptr);
 
   ChunkCache(const ChunkCache&) = delete;
   ChunkCache& operator=(const ChunkCache&) = delete;
@@ -203,8 +207,15 @@ class ChunkCache {
   std::string policy_name() const;
 
   /// Merged snapshot of all shard counters (per-shard breakdown included).
+  /// Counter totals come from atomic registry folds, so concurrent readers
+  /// never see torn 32/32 values (the old plain-uint64 fields could tear
+  /// when read off-shard); map sizes/bytes are read under the shard locks.
   ChunkCacheStats stats() const;
   void ResetStats();
+
+  /// The registry backing every "cache.*" statistic — the one passed at
+  /// construction, or the cache's own private one.
+  MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Number of cached chunks belonging to `group_by_id` (any filter) —
   /// lets the in-cache aggregation extension find promising source
@@ -224,11 +235,10 @@ class ChunkCache {
     std::unordered_map<uint64_t, std::shared_ptr<CachedChunk>> by_handle;
     std::unordered_map<uint32_t, uint64_t> per_group_by;  // gb -> count
     uint64_t bytes_used = 0;
-    uint64_t lookups = 0;
-    uint64_t hits = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t rejected = 0;
+    // Registry-backed counters ("cache.shard<i>.*"), cached at
+    // construction so the hot path never touches the registry lock.
+    Counter* lookups = nullptr;
+    Counter* hits = nullptr;
   };
 
   /// Shard selection reuses KeyHash (well mixed; libstdc++'s table uses
@@ -238,15 +248,26 @@ class ChunkCache {
     return *shards_[KeyHash{}(k) & (shards_.size() - 1)];
   }
 
-  /// Locks a shard, accounting blocked time to contention_ns_.
+  /// Locks a shard, recording contended-acquisition wait time into the
+  /// "cache.lock_wait_ns" histogram.
   std::unique_lock<std::mutex> LockShard(const Shard& s) const;
 
   /// Removes `handle` from `s`. Caller holds s.mu.
   void EraseLocked(Shard& s, uint64_t handle);
 
+  /// Registers cache-level metrics and per-shard counters on metrics_.
+  /// Called once from each constructor after shards_ is populated.
+  void WireMetrics();
+
   uint64_t capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::atomic<uint64_t> contention_ns_{0};
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none was passed
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* insertions_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Histogram* lock_wait_ns_ = nullptr;
 };
 
 }  // namespace chunkcache::cache

@@ -1,6 +1,7 @@
 #include "core/chunk_cache_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "backend/aggregator.h"
 #include "common/fault_injector.h"
@@ -22,8 +23,13 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
                                      ChunkManagerOptions options)
     : engine_(engine),
       options_(std::move(options)),
+      owned_metrics_(options_.metrics == nullptr
+                         ? std::make_unique<MetricsRegistry>()
+                         : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_metrics_.get()),
       cache_(options_.cache_bytes, options_.policy,
-             std::max<uint32_t>(1, options_.cache_shards)) {
+             std::max<uint32_t>(1, options_.cache_shards), metrics_) {
   if (options_.num_workers > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   }
@@ -34,50 +40,113 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
             ? options_.scan_max_outstanding
             : std::max<uint32_t>(2, options_.num_workers);
     sopts.max_queue_depth = options_.scan_max_queue_depth;
-    scheduler_ = std::make_unique<backend::ScanScheduler>(engine_, sopts);
+    scheduler_ =
+        std::make_unique<backend::ScanScheduler>(engine_, sopts, metrics_);
   }
+  if (options_.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceRecorder>(options_.trace_capacity);
+  }
+  queries_ = metrics_->GetCounter("query.executions");
+  query_errors_ = metrics_->GetCounter("query.errors");
+  chunks_requested_ = metrics_->GetCounter("chunks.requested");
+  from_cache_ = metrics_->GetCounter("chunks.from_cache");
+  from_aggregation_ = metrics_->GetCounter("chunks.from_aggregation");
+  from_backend_ = metrics_->GetCounter("chunks.from_backend");
+  coalesced_waits_ = metrics_->GetCounter("chunks.coalesced_waits");
+  degraded_answers_ = metrics_->GetCounter("chunks.degraded_answers");
+  retries_ = metrics_->GetCounter("backend.retries");
+  deadline_expired_ = metrics_->GetCounter("query.deadline_expired");
+  async_prefetched_ = metrics_->GetCounter("prefetch.async_chunks");
+  prefetch_dropped_ = metrics_->GetCounter("prefetch.dropped_inflight");
+  query_latency_ns_ = metrics_->GetHistogram("query.latency_ns");
+  // The buffer pool times its physical I/O into this registry
+  // ("disk.read_ns"/"disk.write_ns"). Latest-binding-wins; the destructor
+  // unbinds only its own binding, so stacked tiers sharing one engine
+  // behave sanely.
+  engine_->pool().BindMetrics(metrics_);
 }
 
-ChunkCacheManager::~ChunkCacheManager() { DrainPrefetch(); }
+ChunkCacheManager::~ChunkCacheManager() {
+  DrainPrefetch();
+  engine_->pool().UnbindMetrics(metrics_);
+}
 
 void ChunkCacheManager::DrainPrefetch() { prefetch_wg_.Wait(); }
 
 cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
-  cache::ChunkCacheStats s = cache_.stats();
+  // Fold natively-atomic subsystem stores (executor, kernels, in-flight
+  // table, fault injector, disk CRC) into registry gauges, then build the
+  // whole struct from one registry snapshot — a single source of truth for
+  // `.stats`, `.metrics` and this accessor.
   if (pool_ != nullptr) {
     const ThreadPoolStats es = pool_->stats();
-    s.exec_tasks_submitted = es.tasks_submitted;
-    s.exec_tasks_run = es.tasks_run;
-    s.exec_queue_peak = es.queue_peak;
-    s.exec_steal_queue_depth = es.steal_queue_depth;
+    metrics_->GetGauge("exec.tasks_submitted")
+        ->Set(static_cast<int64_t>(es.tasks_submitted));
+    metrics_->GetGauge("exec.tasks_run")
+        ->Set(static_cast<int64_t>(es.tasks_run));
+    metrics_->GetGauge("exec.queue_peak")
+        ->Set(static_cast<int64_t>(es.queue_peak));
+    metrics_->GetGauge("exec.steal_queue_depth")
+        ->Set(static_cast<int64_t>(es.steal_queue_depth));
   }
-  s.async_prefetched_chunks =
-      async_prefetched_.load(std::memory_order_relaxed);
   const backend::AggKernelStats ks = engine_->kernel_stats();
-  s.dense_kernels = ks.dense_kernels;
-  s.hash_kernels = ks.hash_kernels;
-  s.rows_folded_dense = ks.rows_folded_dense;
-  s.rows_folded_hash = ks.rows_folded_hash;
-  s.coalesced_reads = ks.coalesced_reads;
-  s.single_run_reads = ks.single_run_reads;
-  s.runs_merged = ks.runs_merged;
-  s.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
-  s.prefetch_dropped_inflight =
-      prefetch_dropped_.load(std::memory_order_relaxed);
+  metrics_->GetGauge("kernels.dense")
+      ->Set(static_cast<int64_t>(ks.dense_kernels));
+  metrics_->GetGauge("kernels.hash")
+      ->Set(static_cast<int64_t>(ks.hash_kernels));
+  metrics_->GetGauge("kernels.rows_folded_dense")
+      ->Set(static_cast<int64_t>(ks.rows_folded_dense));
+  metrics_->GetGauge("kernels.rows_folded_hash")
+      ->Set(static_cast<int64_t>(ks.rows_folded_hash));
+  metrics_->GetGauge("kernels.coalesced_reads")
+      ->Set(static_cast<int64_t>(ks.coalesced_reads));
+  metrics_->GetGauge("kernels.single_run_reads")
+      ->Set(static_cast<int64_t>(ks.single_run_reads));
+  metrics_->GetGauge("kernels.runs_merged")
+      ->Set(static_cast<int64_t>(ks.runs_merged));
+  metrics_->GetGauge("inflight.peak")
+      ->Set(static_cast<int64_t>(inflight_.peak()));
+  metrics_->GetGauge("faults.injected")
+      ->Set(static_cast<int64_t>(FaultInjector::Global().faults_injected()));
+  metrics_->GetGauge("disk.checksum_failures")
+      ->Set(static_cast<int64_t>(
+          engine_->pool().disk()->stats().checksum_failures));
+
+  cache::ChunkCacheStats s = cache_.stats();  // registry-backed already
+  const MetricsRegistry::Snapshot snap = metrics_->TakeSnapshot();
+  s.exec_tasks_submitted =
+      static_cast<uint64_t>(snap.gauge("exec.tasks_submitted"));
+  s.exec_tasks_run = static_cast<uint64_t>(snap.gauge("exec.tasks_run"));
+  s.exec_queue_peak = static_cast<uint64_t>(snap.gauge("exec.queue_peak"));
+  s.exec_steal_queue_depth =
+      static_cast<uint64_t>(snap.gauge("exec.steal_queue_depth"));
+  s.async_prefetched_chunks = snap.counter("prefetch.async_chunks");
+  s.dense_kernels = static_cast<uint64_t>(snap.gauge("kernels.dense"));
+  s.hash_kernels = static_cast<uint64_t>(snap.gauge("kernels.hash"));
+  s.rows_folded_dense =
+      static_cast<uint64_t>(snap.gauge("kernels.rows_folded_dense"));
+  s.rows_folded_hash =
+      static_cast<uint64_t>(snap.gauge("kernels.rows_folded_hash"));
+  s.coalesced_reads =
+      static_cast<uint64_t>(snap.gauge("kernels.coalesced_reads"));
+  s.single_run_reads =
+      static_cast<uint64_t>(snap.gauge("kernels.single_run_reads"));
+  s.runs_merged = static_cast<uint64_t>(snap.gauge("kernels.runs_merged"));
+  s.coalesced_waits = snap.counter("chunks.coalesced_waits");
+  s.prefetch_dropped_inflight = snap.counter("prefetch.dropped_inflight");
   s.dedup_saved_chunks = s.coalesced_waits + s.prefetch_dropped_inflight;
-  s.inflight_peak = inflight_.peak();
-  if (scheduler_ != nullptr) {
-    const backend::ScanSchedulerStats ss = scheduler_->stats();
-    s.shared_scan_batches = ss.batches;
-    s.shared_scan_requests = ss.requests;
-    s.scan_queue_depth_hwm = ss.queue_depth_hwm;
-    s.scan_deadline_sheds = ss.deadline_sheds;
-  }
-  s.faults_injected = FaultInjector::Global().faults_injected();
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
-  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
-  s.checksum_failures = engine_->pool().disk()->stats().checksum_failures;
+  s.inflight_peak = static_cast<uint64_t>(snap.gauge("inflight.peak"));
+  s.shared_scan_batches = snap.counter("scheduler.batches");
+  s.shared_scan_requests = snap.counter("scheduler.requests");
+  s.scan_queue_depth_hwm =
+      static_cast<uint64_t>(snap.gauge("scheduler.queue_depth_hwm"));
+  s.scan_deadline_sheds = snap.counter("scheduler.deadline_sheds");
+  s.faults_injected = static_cast<uint64_t>(snap.gauge("faults.injected"));
+  s.retries = snap.counter("backend.retries");
+  s.degraded_answers = snap.counter("chunks.degraded_answers");
+  s.deadline_expired = snap.counter("query.deadline_expired");
+  s.checksum_failures =
+      static_cast<uint64_t>(snap.gauge("disk.checksum_failures"));
   return s;
 }
 
@@ -112,28 +181,66 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     const StarJoinQuery& query, QueryStats* stats, const ExecControl& ctrl) {
   CHUNKCACHE_CHECK(stats != nullptr);
   *stats = QueryStats();
+  TraceBuilder trace(trace_.get(), "execute");
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<std::vector<ResultRow>> out =
+      ExecuteTraced(query, stats, ctrl, &trace);
+  query_latency_ns_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  queries_->Increment();
+  // Robustness counters flush on every path out; chunk-provenance counters
+  // only for successful queries, so chunks.requested always equals the sum
+  // of the provenance counters once the tier quiesces.
+  if (stats->retries != 0) retries_->Add(stats->retries);
+  if (stats->deadline_expired != 0) {
+    deadline_expired_->Add(stats->deadline_expired);
+  }
+  if (out.ok()) {
+    chunks_requested_->Add(stats->chunks_needed);
+    if (stats->chunks_from_cache != 0) {
+      from_cache_->Add(stats->chunks_from_cache);
+    }
+    if (stats->chunks_from_aggregation != 0) {
+      from_aggregation_->Add(stats->chunks_from_aggregation);
+    }
+    if (stats->chunks_from_backend != 0) {
+      from_backend_->Add(stats->chunks_from_backend);
+    }
+    if (stats->coalesced_waits != 0) {
+      coalesced_waits_->Add(stats->coalesced_waits);
+    }
+    if (stats->degraded_answers != 0) {
+      degraded_answers_->Add(stats->degraded_answers);
+    }
+  } else {
+    query_errors_->Increment();
+  }
+  if (trace.armed()) {
+    const uint32_t root = trace.root();
+    trace.Tag(root, "group_by", query.group_by.ToString());
+    trace.Tag(root, "chunks_needed", stats->chunks_needed);
+    trace.Tag(root, "status",
+              out.ok() ? std::string("Ok")
+                       : std::string(StatusCodeName(out.status().code())));
+    if (stats->coalesced_waits != 0) {
+      trace.Tag(root, "coalesced_waits", stats->coalesced_waits);
+    }
+    if (stats->degraded_answers != 0) {
+      trace.Tag(root, "degraded_chunks", stats->degraded_answers);
+    }
+    trace.Finish();
+  }
+  return out;
+}
+
+Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
+    const StarJoinQuery& query, QueryStats* stats, const ExecControl& ctrl,
+    TraceBuilder* trace) {
   // Fail fast before claiming any in-flight slot: an already expired or
   // cancelled query must not become an owner other queries wait on.
   CHUNKCACHE_RETURN_IF_ERROR(ctrl.Check());
-  // Flush this query's robustness counters into the manager totals on
-  // every path out (QueryStats was reset above, so they only grow here).
-  struct CounterFlush {
-    ChunkCacheManager* m;
-    QueryStats* s;
-    ~CounterFlush() {
-      if (s->retries != 0) {
-        m->retries_.fetch_add(s->retries, std::memory_order_relaxed);
-      }
-      if (s->degraded_answers != 0) {
-        m->degraded_answers_.fetch_add(s->degraded_answers,
-                                       std::memory_order_relaxed);
-      }
-      if (s->deadline_expired != 0) {
-        m->deadline_expired_.fetch_add(s->deadline_expired,
-                                       std::memory_order_relaxed);
-      }
-    }
-  } counter_flush{this, stats};
   const chunks::ChunkingScheme& scheme = engine_->scheme();
   const uint32_t gb_id = scheme.GroupById(query.group_by);
   const uint64_t filter_hash = FilterHash(query.non_group_by);
@@ -141,6 +248,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   const bool coalesce = options_.enable_miss_coalescing;
 
   // 1. Query analysis: chunk numbers needed (Section 5.2.2).
+  const uint32_t decompose_span = trace->BeginSpan("decompose", trace->root());
   const ChunkBox box = scheme.BoxForSelection(query.group_by, query.selection);
   const chunks::ChunkGrid& grid = scheme.GridFor(query.group_by);
   std::vector<uint64_t> needed;
@@ -150,6 +258,8 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   });
   stats->chunks_needed = needed.size();
   stats->cost_estimate = static_cast<double>(needed.size()) * benefit;
+  trace->Tag(decompose_span, "chunks", static_cast<uint64_t>(needed.size()));
+  trace->EndSpan(decompose_span);
 
   // 2. Query splitting: CNumsPresent / CNumsMissing (Section 5.2.3). Hits
   // come back as pinned handles, so concurrent inserts or evictions by
@@ -161,6 +271,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     uint64_t chunk_num = 0;
     Inflight::SlotPtr slot;  // null when coalescing is off
   };
+  const uint32_t probe_span = trace->BeginSpan("cache_probe", trace->root());
   std::vector<AggTuple> rows;
   std::vector<cache::ChunkHandle> cached;
   std::vector<Miss> owned;
@@ -198,6 +309,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       owned.push_back(Miss{num, std::move(claim.slot)});
     }
   }
+  trace->Tag(probe_span, "hits", stats->chunks_from_cache);
+  trace->Tag(probe_span, "owned", static_cast<uint64_t>(owned.size()));
+  trace->Tag(probe_span, "waits", static_cast<uint64_t>(waits.size()));
+  trace->EndSpan(probe_span);
 
   // Every owned slot must be resolved exactly once on every path out of
   // this function; on error the slots fail, waking waiters with the error
@@ -216,6 +331,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   // Runs only for chunks this query owns, so it can never duplicate a
   // computation already in flight elsewhere.
   if (options_.enable_in_cache_aggregation && !owned.empty()) {
+    ScopedSpan agg_span(trace, "aggregate_in_cache", trace->root());
     std::vector<Miss> still_owned;
     for (Miss& om : owned) {
       auto aggregated =
@@ -242,6 +358,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       }
     }
     owned = std::move(still_owned);
+    trace->Tag(agg_span.id(), "chunks", stats->chunks_from_aggregation);
   }
 
   // 4. Compute the owned misses — through the shared-scan scheduler when
@@ -253,6 +370,12 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   std::vector<uint64_t> owned_nums;
   owned_nums.reserve(owned.size());
   for (const Miss& om : owned) owned_nums.push_back(om.chunk_num);
+
+  // A full cache hit has no miss pipeline — and no span for it.
+  const uint32_t miss_span =
+      owned_nums.empty() ? TraceBuilder::kNoSpan
+                         : trace->BeginSpan("miss_pipeline", trace->root());
+  trace->Tag(miss_span, "chunks", static_cast<uint64_t>(owned_nums.size()));
 
   std::vector<AggTuple> hit_rows;
   const auto assemble_hits = [&] {
@@ -272,8 +395,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
                                   pool_.get(), &ctrl);
   };
   // Bounded retries with backoff: transient backend faults (injected or
-  // real) re-attempt instead of failing the query and its waiters.
+  // real) re-attempt instead of failing the query and its waiters. Runs on
+  // the calling thread in both branches below, so the span is safe.
   const auto compute_owned = [&]() -> Result<std::vector<ChunkData>> {
+    ScopedSpan scan_span(trace, "scan_aggregate", miss_span);
     return RunWithRetry(options_.retry, ctrl, &stats->retries, compute_once);
   };
   Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
@@ -303,6 +428,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     // leave some owned slots unresolved with nothing to publish.
     std::vector<ChunkData> assembled;
     if (options_.enable_degraded_mode) {
+      ScopedSpan degraded_span(trace, "degraded_rollup", miss_span);
       assembled.reserve(owned.size());
       for (const Miss& om : owned) {
         auto cols =
@@ -313,6 +439,8 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
         data.cols = std::move(*cols);
         assembled.push_back(std::move(data));
       }
+      trace->Tag(degraded_span.id(), "chunks",
+                 static_cast<uint64_t>(assembled.size()));
     }
     if (assembled.size() == owned.size()) {
       stats->degraded_answers += owned.size();
@@ -343,6 +471,12 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
       owned[i].slot = nullptr;
     }
   }
+  if (miss_span != TraceBuilder::kNoSpan) {
+    trace->Tag(miss_span, "provenance",
+               answered_degraded ? "degraded" : "backend");
+    if (stats->retries != 0) trace->Tag(miss_span, "retries", stats->retries);
+    trace->EndSpan(miss_span);
+  }
   rows.insert(rows.end(), std::make_move_iterator(hit_rows.begin()),
               std::make_move_iterator(hit_rows.end()));
 
@@ -352,6 +486,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   // that fails — owner error, or this query's own deadline — falls back:
   // first re-probe the cache (a racing retry of the owner may have
   // published), then closure-property assembly, then give up.
+  const uint32_t wait_span =
+      waits.empty() ? TraceBuilder::kNoSpan
+                    : trace->BeginSpan("wait_coalesced", trace->root());
+  trace->Tag(wait_span, "chunks", static_cast<uint64_t>(waits.size()));
   for (const Miss& wm : waits) {
     Result<cache::ChunkHandle> res = wm.slot->WaitUntil(ctrl.deadline);
     if (res.ok()) {
@@ -388,15 +526,15 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
     }
     return res.status();
   }
-  if (stats->coalesced_waits != 0) {
-    coalesced_waits_.fetch_add(stats->coalesced_waits,
-                               std::memory_order_relaxed);
-  }
+  trace->EndSpan(wait_span);
 
   // 5. Post-processing: trim boundary extras, canonical order.
+  const uint32_t rollup_span = trace->BeginSpan("rollup", trace->root());
   rows = backend::FilterRows(std::move(rows), query.group_by.num_dims,
                              query.selection);
   backend::SortRows(&rows, query.group_by.num_dims);
+  trace->Tag(rollup_span, "rows", static_cast<uint64_t>(rows.size()));
+  trace->EndSpan(rollup_span);
 
   stats->full_cache_hit = owned_nums.empty() && waits.empty() &&
                           stats->chunks_from_backend == 0;
@@ -421,10 +559,17 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
   // stats->prefetch_work as before. Either way the fetches go through the
   // in-flight table, so background work never duplicates foreground work.
   if (options_.enable_drill_down_prefetch) {
+    ScopedSpan prefetch_span(trace, "prefetch", trace->root());
     CHUNKCACHE_ASSIGN_OR_RETURN(std::optional<PrefetchPlan> plan,
                                 PlanDrillDown(query, needed, filter_hash));
     if (plan) {
       if (pool_ != nullptr && !ThreadPool::InWorkerThread()) {
+        // Fire-and-forget: only the plan is attributed to this query's
+        // trace; the fetch itself runs on the pool (spans stay on the
+        // query's own thread by design).
+        trace->Tag(prefetch_span.id(), "mode", "async");
+        trace->Tag(prefetch_span.id(), "planned",
+                   static_cast<uint64_t>(plan->to_fetch.size()));
         prefetch_wg_.Add(1);
         pool_->Submit([this, plan = std::move(*plan),
                        preds = query.non_group_by, filter_hash] {
@@ -432,17 +577,17 @@ Result<std::vector<ResultRow>> ChunkCacheManager::Execute(
           // already failed the owned slots by the time it reports).
           WorkCounters work;
           auto fetched = RunPrefetch(plan, preds, filter_hash, &work);
-          if (fetched.ok()) {
-            async_prefetched_.fetch_add(*fetched, std::memory_order_relaxed);
-          }
+          if (fetched.ok()) async_prefetched_->Add(*fetched);
           prefetch_wg_.Done();
         });
       } else {
+        trace->Tag(prefetch_span.id(), "mode", "inline");
         CHUNKCACHE_ASSIGN_OR_RETURN(
             uint64_t fetched,
             RunPrefetch(*plan, query.non_group_by, filter_hash,
                         &stats->prefetch_work));
         stats->prefetched_chunks += fetched;
+        trace->Tag(prefetch_span.id(), "chunks", fetched);
       }
     }
   }
@@ -520,7 +665,7 @@ ChunkCacheManager::PlanDrillDown(const StarJoinQuery& query,
       // duplicate by the time we fetched it — drop it now.
       if (options_.enable_miss_coalescing &&
           inflight_.Pending(ChunkKey{plan.drill_id, child, filter_hash})) {
-        prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+        prefetch_dropped_->Increment();
         return;
       }
       plan.to_fetch.push_back(child);
@@ -549,7 +694,7 @@ Result<uint64_t> ChunkCacheManager::RunPrefetch(
     const ChunkKey key{plan.drill_id, num, filter_hash};
     Inflight::Claim claim = inflight_.Acquire(key);
     if (!claim.owner) {
-      prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+      prefetch_dropped_->Increment();
       continue;
     }
     // Published-and-retired since the plan was made? Hand waiters the
@@ -558,7 +703,7 @@ Result<uint64_t> ChunkCacheManager::RunPrefetch(
       cache::ChunkHandle hit = cache_.Lookup(plan.drill_id, num, filter_hash);
       if (hit != nullptr) {
         inflight_.Publish(key, claim.slot, std::move(hit));
-        prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+        prefetch_dropped_->Increment();
         continue;
       }
     }

@@ -11,8 +11,10 @@
 #include "backend/scan_scheduler.h"
 #include "cache/chunk_cache.h"
 #include "common/inflight_table.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/middle_tier.h"
 
 namespace chunkcache::core {
@@ -83,6 +85,17 @@ struct ChunkManagerOptions {
   /// through the Execute(query, stats) interface get this deadline; the
   /// Execute overload taking an ExecControl overrides it.
   uint64_t default_deadline_ms = 0;
+
+  /// Per-query trace spans retained in a ring buffer (0 = tracing off).
+  /// When off, every trace hook in Execute is a disarmed branch-and-return
+  /// (bench_observability measures both modes).
+  uint32_t trace_capacity = 0;
+
+  /// Registry all middle-tier statistics are homed on — the cache's,
+  /// the scheduler's and the manager's own. nullptr (the default) gives
+  /// the manager a private registry so concurrently-running tiers stay
+  /// attributable; pass one shared registry for a process-wide export.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// The paper's middle tier (Sections 3 and 5): decomposes each query into
@@ -130,8 +143,18 @@ class ChunkCacheManager final : public MiddleTier {
   /// Cache stats plus executor counters (tasks submitted/run, queue peak,
   /// steal-queue depth — zero by construction), the async-prefetch count,
   /// and the miss-coalescing counters; what `examples/shell.cpp`'s `stats`
-  /// command prints.
+  /// command prints. Every cumulative value is served from the metrics
+  /// registry (the single store); natively-atomic subsystem counters
+  /// (executor, kernels, fault injector, disk) are folded into registry
+  /// gauges here so the registry export and this struct always agree.
   cache::ChunkCacheStats StatsSnapshot() const;
+
+  /// The registry every middle-tier statistic lives on (the one passed in
+  /// options, or the manager's own private one).
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Trace ring; null when options.trace_capacity == 0.
+  TraceRecorder* trace_recorder() { return trace_.get(); }
 
   /// Shared-scan scheduler; null when miss coalescing is disabled.
   backend::ScanScheduler* scan_scheduler() { return scheduler_.get(); }
@@ -170,6 +193,13 @@ class ChunkCacheManager final : public MiddleTier {
   using Inflight =
       InflightTable<cache::ChunkKey, cache::ChunkHandle, cache::ChunkKeyHash>;
 
+  /// The execution pipeline proper, instrumented with `trace` spans. The
+  /// public Execute wraps it with the per-query bookkeeping: latency
+  /// histogram, registry counter flush, root-span tags and trace Finish.
+  Result<std::vector<backend::ResultRow>> ExecuteTraced(
+      const backend::StarJoinQuery& query, QueryStats* stats,
+      const ExecControl& ctrl, TraceBuilder* trace);
+
   /// Runs `plan`'s fetches (dropping chunks another query is already
   /// computing, claiming the rest through the in-flight table), admits and
   /// publishes each computed chunk, and returns how many were fetched.
@@ -181,15 +211,34 @@ class ChunkCacheManager final : public MiddleTier {
 
   backend::BackendEngine* engine_;
   ChunkManagerOptions options_;
+  // Declared before cache_: the cache (and scheduler) home their
+  // statistics on this registry.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
   cache::ChunkCache cache_;
   Inflight inflight_;
   std::unique_ptr<backend::ScanScheduler> scheduler_;
-  std::atomic<uint64_t> async_prefetched_{0};
-  std::atomic<uint64_t> coalesced_waits_{0};
-  std::atomic<uint64_t> prefetch_dropped_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> degraded_answers_{0};
-  std::atomic<uint64_t> deadline_expired_{0};
+  std::unique_ptr<TraceRecorder> trace_;
+
+  // Registry-backed cumulative counters; pointers cached at construction.
+  // Chunk-provenance counters ("chunks.*") are flushed only for queries
+  // that succeed, so chunks.requested == sum of the provenance counters
+  // holds exactly (stats_invariant_test); robustness counters flush on
+  // every path out.
+  Counter* queries_ = nullptr;            // query.executions
+  Counter* query_errors_ = nullptr;       // query.errors
+  Counter* chunks_requested_ = nullptr;   // chunks.requested
+  Counter* from_cache_ = nullptr;         // chunks.from_cache
+  Counter* from_aggregation_ = nullptr;   // chunks.from_aggregation
+  Counter* from_backend_ = nullptr;       // chunks.from_backend
+  Counter* coalesced_waits_ = nullptr;    // chunks.coalesced_waits
+  Counter* degraded_answers_ = nullptr;   // chunks.degraded_answers
+  Counter* retries_ = nullptr;            // backend.retries
+  Counter* deadline_expired_ = nullptr;   // query.deadline_expired
+  Counter* async_prefetched_ = nullptr;   // prefetch.async_chunks
+  Counter* prefetch_dropped_ = nullptr;   // prefetch.dropped_inflight
+  Histogram* query_latency_ns_ = nullptr;  // query.latency_ns
+
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`
   // finish while cache_ and engine_ are still alive.

@@ -1,8 +1,31 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace chunkcache::storage {
+
+namespace {
+class HistTimer {
+ public:
+  explicit HistTimer(Histogram* h) : h_(h) {
+    if (h_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~HistTimer() {
+    if (h_ != nullptr) {
+      h_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count()));
+    }
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+}  // namespace
 
 void PageGuard::MarkDirty() {
   CHUNKCACHE_DCHECK(valid());
@@ -24,6 +47,32 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t num_frames)
   table_.reserve(num_frames * 2);
 }
 
+void BufferPool::BindMetrics(MetricsRegistry* m) {
+  if (m == nullptr) return;
+  read_ns_.store(m->GetHistogram("disk.read_ns"), std::memory_order_relaxed);
+  write_ns_.store(m->GetHistogram("disk.write_ns"), std::memory_order_relaxed);
+  bound_registry_.store(m, std::memory_order_release);
+}
+
+void BufferPool::UnbindMetrics(MetricsRegistry* m) {
+  MetricsRegistry* cur = m;
+  if (bound_registry_.compare_exchange_strong(cur, nullptr,
+                                              std::memory_order_acq_rel)) {
+    read_ns_.store(nullptr, std::memory_order_relaxed);
+    write_ns_.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Status BufferPool::ReadTimed(PageId id, Page* page) {
+  HistTimer t(read_ns_.load(std::memory_order_relaxed));
+  return disk_->ReadPage(id, page);
+}
+
+Status BufferPool::WriteTimed(PageId id, const Page& page) {
+  HistTimer t(write_ns_.load(std::memory_order_relaxed));
+  return disk_->WritePage(id, page);
+}
+
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(id);
@@ -37,7 +86,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   ++stats_.misses;
   CHUNKCACHE_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame());
   Frame& f = frames_[frame];
-  CHUNKCACHE_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  CHUNKCACHE_RETURN_IF_ERROR(ReadTimed(id, &f.page));
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
@@ -66,7 +115,7 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
-      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      CHUNKCACHE_RETURN_IF_ERROR(WriteTimed(f.id, f.page));
       f.dirty = false;
       ++stats_.dirty_writebacks;
     }
@@ -82,7 +131,7 @@ Status BufferPool::EvictAll() {
       return Status::Internal("EvictAll with pinned page");
     }
     if (f.dirty) {
-      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      CHUNKCACHE_RETURN_IF_ERROR(WriteTimed(f.id, f.page));
       ++stats_.dirty_writebacks;
     }
     table_.erase(f.id);
@@ -120,7 +169,7 @@ Result<uint32_t> BufferPool::GrabFrame() {
     }
     // Victim found.
     if (f.dirty) {
-      CHUNKCACHE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      CHUNKCACHE_RETURN_IF_ERROR(WriteTimed(f.id, f.page));
       ++stats_.dirty_writebacks;
     }
     table_.erase(f.id);

@@ -1,12 +1,14 @@
 #ifndef CHUNKCACHE_STORAGE_BUFFER_POOL_H_
 #define CHUNKCACHE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -117,6 +119,15 @@ class BufferPool {
   uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
   DiskManager* disk() const { return disk_; }
 
+  /// Homes physical I/O latency on `m` ("disk.read_ns"/"disk.write_ns"
+  /// histograms). The pool times its DiskManager calls itself so
+  /// DiskManager's virtual interface stays untouched (tests subclass it).
+  /// Latest binding wins; UnbindMetrics(m) detaches only if `m` is still
+  /// the current binding, so a middle tier that outlives another sharing
+  /// this pool never yanks the survivor's histograms.
+  void BindMetrics(MetricsRegistry* m);
+  void UnbindMetrics(MetricsRegistry* m);
+
  private:
   friend class PageGuard;
 
@@ -135,12 +146,21 @@ class BufferPool {
   /// index or ResourceExhausted. Caller must hold mu_.
   Result<uint32_t> GrabFrame();
 
+  /// DiskManager calls timed into the bound histograms (no-ops when
+  /// unbound beyond one relaxed load).
+  Status ReadTimed(PageId id, Page* page);
+  Status WriteTimed(PageId id, const Page& page);
+
   mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, uint32_t, PageIdHash> table_;
   uint32_t clock_hand_ = 0;
   BufferPoolStats stats_;
+
+  std::atomic<MetricsRegistry*> bound_registry_{nullptr};
+  std::atomic<Histogram*> read_ns_{nullptr};
+  std::atomic<Histogram*> write_ns_{nullptr};
 };
 
 }  // namespace chunkcache::storage

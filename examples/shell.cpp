@@ -2,7 +2,7 @@
 // Type the paper's star-join template against the Table 1 schema and watch
 // the chunk cache work; dot-commands inspect the system.
 //
-//   $ ./shell [num_tuples]
+//   $ ./shell [num_tuples] [--compress]
 //   chunkcache> SELECT D0.L1, SUM(dollar_sales) FROM Sales, D0 GROUP BY D0.L1
 //   chunkcache> .schema
 //   chunkcache> .cache
@@ -20,6 +20,7 @@
 #include "schema/synthetic.h"
 #include "sql/parser.h"
 #include "storage/buffer_pool.h"
+#include "storage/codec.h"
 #include "storage/disk_manager.h"
 
 using namespace chunkcache;
@@ -59,8 +60,15 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const uint64_t tuples =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  uint64_t tuples = 100000;
+  bool compress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--compress") {
+      compress = true;
+    } else {
+      tuples = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
   auto schema_or = schema::BuildPaperSchema();
   if (!schema_or.ok()) return 1;
@@ -88,6 +96,7 @@ int main(int argc, char** argv) {
   mopts.num_workers = 4;     // parallel miss pipeline
   mopts.cache_shards = 8;    // sharded, thread-safe chunk cache
   mopts.trace_capacity = 64;  // per-query span trees for .trace
+  mopts.enable_compression = compress;  // --compress: encoded cache tier
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
 
@@ -184,6 +193,47 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.deadline_expired,
                   (unsigned long long)cs.checksum_failures);
       const MetricsRegistry::Snapshot ms = tier.metrics().TakeSnapshot();
+      if (tier.options().enable_compression) {
+        std::printf("compression: chunks=%llu skipped=%llu raw bytes=%llu "
+                    "encoded bytes=%llu ratio=%.3f\n",
+                    (unsigned long long)cs.compressed_chunks,
+                    (unsigned long long)cs.compression_skipped,
+                    (unsigned long long)cs.codec_raw_bytes,
+                    (unsigned long long)cs.codec_encoded_bytes,
+                    cs.codec_raw_bytes
+                        ? static_cast<double>(cs.codec_encoded_bytes) /
+                              static_cast<double>(cs.codec_raw_bytes)
+                        : 0.0);
+        std::printf("  decode: calls=%llu decoded-lru hits=%llu "
+                    "evictions=%llu\n",
+                    (unsigned long long)cs.decode_calls,
+                    (unsigned long long)cs.decoded_lru_hits,
+                    (unsigned long long)cs.decoded_lru_evictions);
+        for (size_t c = 0; c < storage::codec::kNumCodecs; ++c) {
+          const char* nm = storage::codec::CodecName(
+              static_cast<storage::codec::ColumnCodec>(c));
+          const std::string base = std::string("cache.codec.") + nm;
+          const uint64_t cols = ms.counter(base + ".columns");
+          if (cols == 0) continue;
+          const uint64_t raw = ms.counter(base + ".raw_bytes");
+          const uint64_t enc = ms.counter(base + ".encoded_bytes");
+          std::printf("  codec %-6s: columns=%llu raw=%llu encoded=%llu "
+                      "ratio=%.3f\n",
+                      nm, (unsigned long long)cols, (unsigned long long)raw,
+                      (unsigned long long)enc,
+                      raw ? static_cast<double>(enc) / static_cast<double>(raw)
+                          : 0.0);
+        }
+        auto dec = ms.histograms.find("codec.decode_ns");
+        if (dec != ms.histograms.end() && dec->second.count > 0) {
+          const HistogramSnapshot& h = dec->second;
+          std::printf("  decode-on-hit: n=%llu mean=%.1fus p50=%.1fus "
+                      "p95=%.1fus p99=%.1fus\n",
+                      (unsigned long long)h.count, h.Mean() / 1e3,
+                      h.Quantile(0.5) / 1e3, h.Quantile(0.95) / 1e3,
+                      h.Quantile(0.99) / 1e3);
+        }
+      }
       auto lat = ms.histograms.find("query.latency_ns");
       if (lat != ms.histograms.end() && lat->second.count > 0) {
         const HistogramSnapshot& h = lat->second;

@@ -30,16 +30,31 @@ struct CachedChunk {
   double benefit = 0;
   /// Columnar rows in canonical row-major order. Only the group-by's
   /// active dimensions have coordinate columns, so the cache no longer
-  /// charges for kMaxDims padding per row.
+  /// charges for kMaxDims padding per row. Empty when the entry is held
+  /// in encoded form instead.
   storage::AggColumns cols;
+
+  /// Codec-encoded payload (storage/codec blob) when the manager's
+  /// compressed in-memory tier holds this entry; empty otherwise. Exactly
+  /// one of `cols` / `encoded` is populated for a non-empty chunk. Hits
+  /// decode on demand (ChunkCacheManager::ResolveCols), so the budget
+  /// charges encoded bytes and effective capacity rises.
+  std::vector<uint8_t> encoded;
+  /// Raw (decoded) payload bytes of `encoded`, for ratio accounting.
+  uint64_t raw_bytes = 0;
+  /// Rows in the payload regardless of representation.
+  uint32_t encoded_rows = 0;
+
+  bool compressed() const { return !encoded.empty(); }
+  size_t rows() const { return compressed() ? encoded_rows : cols.size(); }
 
   /// Heap footprint charged against the cache budget. Charges column
   /// capacity(), not size(): the allocator really holds capacity() slots,
   /// and budgeting by size() would let slack capacity silently exceed the
-  /// configured cache size.
+  /// configured cache size. A compressed entry charges its encoded bytes.
   uint64_t ByteSize() const {
     return sizeof(CachedChunk) - sizeof(storage::AggColumns) +
-           cols.ByteSize();
+           cols.ByteSize() + encoded.capacity();
   }
 };
 
@@ -141,6 +156,16 @@ struct ChunkCacheStats {
   uint64_t deadline_expired = 0;   ///< Chunk waits/computes cut by deadline.
   uint64_t checksum_failures = 0;  ///< Page CRC mismatches caught on read.
   uint64_t scan_deadline_sheds = 0;  ///< Scheduler admissions given up.
+
+  // Compressed-tier counters, filled by ChunkCacheManager::StatsSnapshot
+  // when enable_compression is on; zero otherwise.
+  uint64_t compressed_chunks = 0;   ///< Entries admitted in encoded form.
+  uint64_t compression_skipped = 0;  ///< Entries where encoding didn't pay.
+  uint64_t codec_raw_bytes = 0;      ///< Raw payload bytes before encoding.
+  uint64_t codec_encoded_bytes = 0;  ///< Encoded payload bytes produced.
+  uint64_t decode_calls = 0;         ///< Hits that had to decode.
+  uint64_t decoded_lru_hits = 0;     ///< Hits served by the decoded front.
+  uint64_t decoded_lru_evictions = 0;
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from

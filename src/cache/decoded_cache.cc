@@ -1,0 +1,75 @@
+#include "cache/decoded_cache.h"
+
+namespace chunkcache::cache {
+
+std::shared_ptr<const storage::AggColumns> DecodedCache::Get(
+    const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void DecodedCache::Put(const ChunkKey& key,
+                       std::shared_ptr<const storage::AggColumns> cols) {
+  if (cols == nullptr) return;
+  const uint64_t bytes = cols->ByteSize();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_used_ -= it->second->second->ByteSize();
+    it->second->second = std::move(cols);
+    bytes_used_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    if (bytes > capacity_bytes_) return;  // would evict everything for one
+    lru_.emplace_front(key, std::move(cols));
+    index_[key] = lru_.begin();
+    bytes_used_ += bytes;
+  }
+  EvictOverBudgetLocked();
+}
+
+void DecodedCache::Erase(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  bytes_used_ -= it->second->second->ByteSize();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void DecodedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_used_ = 0;
+}
+
+void DecodedCache::EvictOverBudgetLocked() {
+  while (bytes_used_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= victim.second->ByteSize();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+uint64_t DecodedCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+size_t DecodedCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+uint64_t DecodedCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace chunkcache::cache

@@ -1,0 +1,67 @@
+#ifndef CHUNKCACHE_CACHE_DECODED_CACHE_H_
+#define CHUNKCACHE_CACHE_DECODED_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/chunk_cache.h"
+#include "storage/agg_columns.h"
+
+namespace chunkcache::cache {
+
+/// Small LRU front for the compressed in-memory tier: maps a ChunkKey to
+/// recently decoded AggColumns so back-to-back hits on the same chunk
+/// (row-major box enumeration, proximity streams) decode once instead of
+/// per hit. Deliberately tiny relative to the chunk cache — it trades a
+/// bounded slice of memory for the common re-hit, while the main budget
+/// stays charged at encoded bytes.
+///
+/// Thread-safe; values are shared_ptr<const AggColumns>, so a returned
+/// decode stays valid however the LRU churns.
+class DecodedCache {
+ public:
+  explicit DecodedCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  DecodedCache(const DecodedCache&) = delete;
+  DecodedCache& operator=(const DecodedCache&) = delete;
+
+  /// The decoded columns for `key`, refreshing its recency; null if absent.
+  std::shared_ptr<const storage::AggColumns> Get(const ChunkKey& key);
+
+  /// Remembers a decode, evicting least-recently-used entries over budget.
+  /// A payload larger than the whole budget is simply not admitted.
+  void Put(const ChunkKey& key,
+           std::shared_ptr<const storage::AggColumns> cols);
+
+  /// Drops `key` if present (entry invalidated by a re-insert).
+  void Erase(const ChunkKey& key);
+
+  void Clear();
+
+  uint64_t bytes_used() const;
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t size() const;
+  uint64_t evictions() const;
+
+ private:
+  using Entry =
+      std::pair<ChunkKey, std::shared_ptr<const storage::AggColumns>>;
+
+  void EvictOverBudgetLocked();
+
+  const uint64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ChunkKey, std::list<Entry>::iterator, ChunkKeyHash>
+      index_;
+  uint64_t bytes_used_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace chunkcache::cache
+
+#endif  // CHUNKCACHE_CACHE_DECODED_CACHE_H_

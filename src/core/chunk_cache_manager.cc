@@ -46,6 +46,10 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
   if (options_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceRecorder>(options_.trace_capacity);
   }
+  if (options_.enable_compression && options_.decoded_cache_bytes > 0) {
+    decoded_ =
+        std::make_unique<cache::DecodedCache>(options_.decoded_cache_bytes);
+  }
   queries_ = metrics_->GetCounter("query.executions");
   query_errors_ = metrics_->GetCounter("query.errors");
   chunks_requested_ = metrics_->GetCounter("chunks.requested");
@@ -59,6 +63,22 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
   async_prefetched_ = metrics_->GetCounter("prefetch.async_chunks");
   prefetch_dropped_ = metrics_->GetCounter("prefetch.dropped_inflight");
   query_latency_ns_ = metrics_->GetHistogram("query.latency_ns");
+  compressed_chunks_ = metrics_->GetCounter("cache.compressed_chunks");
+  compression_skipped_ = metrics_->GetCounter("cache.compression_skipped");
+  codec_raw_bytes_ = metrics_->GetCounter("cache.codec_raw_bytes");
+  codec_encoded_bytes_ = metrics_->GetCounter("cache.codec_encoded_bytes");
+  decode_calls_ = metrics_->GetCounter("cache.decode_calls");
+  decoded_lru_hits_ = metrics_->GetCounter("cache.decoded_lru_hits");
+  for (size_t c = 0; c < storage::codec::kNumCodecs; ++c) {
+    const std::string base =
+        std::string("cache.codec.") +
+        storage::codec::CodecName(static_cast<storage::codec::ColumnCodec>(c));
+    codec_col_raw_[c] = metrics_->GetCounter(base + ".raw_bytes");
+    codec_col_encoded_[c] = metrics_->GetCounter(base + ".encoded_bytes");
+    codec_col_columns_[c] = metrics_->GetCounter(base + ".columns");
+  }
+  encode_ns_ = metrics_->GetHistogram("codec.encode_ns");
+  decode_ns_ = metrics_->GetHistogram("codec.decode_ns");
   // The buffer pool times its physical I/O into this registry
   // ("disk.read_ns"/"disk.write_ns"). Latest-binding-wins; the destructor
   // unbinds only its own binding, so stacked tiers sharing one engine
@@ -106,6 +126,12 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
       ->Set(static_cast<int64_t>(ks.runs_merged));
   metrics_->GetGauge("inflight.peak")
       ->Set(static_cast<int64_t>(inflight_.peak()));
+  if (decoded_ != nullptr) {
+    metrics_->GetGauge("cache.decoded_lru_evictions")
+        ->Set(static_cast<int64_t>(decoded_->evictions()));
+    metrics_->GetGauge("cache.decoded_lru_bytes")
+        ->Set(static_cast<int64_t>(decoded_->bytes_used()));
+  }
   metrics_->GetGauge("faults.injected")
       ->Set(static_cast<int64_t>(FaultInjector::Global().faults_injected()));
   metrics_->GetGauge("disk.checksum_failures")
@@ -147,7 +173,89 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   s.deadline_expired = snap.counter("query.deadline_expired");
   s.checksum_failures =
       static_cast<uint64_t>(snap.gauge("disk.checksum_failures"));
+  s.compressed_chunks = snap.counter("cache.compressed_chunks");
+  s.compression_skipped = snap.counter("cache.compression_skipped");
+  s.codec_raw_bytes = snap.counter("cache.codec_raw_bytes");
+  s.codec_encoded_bytes = snap.counter("cache.codec_encoded_bytes");
+  s.decode_calls = snap.counter("cache.decode_calls");
+  s.decoded_lru_hits = snap.counter("cache.decoded_lru_hits");
+  s.decoded_lru_evictions =
+      static_cast<uint64_t>(snap.gauge("cache.decoded_lru_evictions"));
   return s;
+}
+
+void ChunkCacheManager::MaybeCompressEntry(cache::CachedChunk* entry) {
+  namespace codec = storage::codec;
+  if (!options_.enable_compression || entry->cols.empty()) return;
+  const uint64_t raw = codec::RawPayloadBytes(entry->cols);
+  std::vector<uint8_t> blob;
+  codec::CodecStats cs;
+  const auto t0 = std::chrono::steady_clock::now();
+  codec::EncodeAggColumns(entry->cols, &blob, &cs);
+  encode_ns_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  codec_raw_bytes_->Add(raw);
+  codec_encoded_bytes_->Add(blob.size());
+  for (size_t c = 0; c < codec::kNumCodecs; ++c) {
+    if (cs.columns[c] == 0) continue;
+    codec_col_raw_[c]->Add(cs.raw_bytes[c]);
+    codec_col_encoded_[c]->Add(cs.encoded_bytes[c]);
+    codec_col_columns_[c]->Add(cs.columns[c]);
+  }
+  if (blob.size() >= raw) {
+    // Encoding lost (already-random data): keep the raw columns, a decode
+    // per hit would buy nothing.
+    compression_skipped_->Increment();
+    return;
+  }
+  blob.shrink_to_fit();
+  const ChunkKey key{entry->group_by_id, entry->chunk_num,
+                     entry->filter_hash};
+  const uint32_t num_dims = entry->cols.num_dims();
+  entry->encoded_rows = static_cast<uint32_t>(entry->cols.size());
+  entry->raw_bytes = raw;
+  entry->encoded = std::move(blob);
+  if (decoded_ != nullptr) {
+    // Seed the decoded front with the columns we already have: the query
+    // that computed this chunk (and its coalesced waiters) re-reads them
+    // without paying the first decode.
+    auto dec =
+        std::make_shared<storage::AggColumns>(std::move(entry->cols));
+    decoded_->Put(key, std::move(dec));
+  }
+  entry->cols = storage::AggColumns(num_dims);  // release the raw columns
+  compressed_chunks_->Increment();
+}
+
+std::shared_ptr<const storage::AggColumns> ChunkCacheManager::ResolveCols(
+    const cache::ChunkHandle& h) {
+  if (!h->compressed()) {
+    // Aliasing share: the pinned handle keeps the columns alive, no copy.
+    return std::shared_ptr<const storage::AggColumns>(h, &h->cols);
+  }
+  const ChunkKey key{h->group_by_id, h->chunk_num, h->filter_hash};
+  if (decoded_ != nullptr) {
+    if (auto hit = decoded_->Get(key)) {
+      decoded_lru_hits_->Increment();
+      return hit;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res =
+      storage::codec::DecodeAggColumns(h->encoded.data(), h->encoded.size());
+  decode_ns_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  decode_calls_->Increment();
+  // The blob was encoded by this process and CRC-validated on decode; a
+  // failure here means in-memory corruption, not recoverable input.
+  CHUNKCACHE_CHECK(res.ok());
+  auto dec = std::make_shared<storage::AggColumns>(std::move(*res));
+  if (decoded_ != nullptr) decoded_->Put(key, dec);
+  return dec;
 }
 
 uint64_t ChunkCacheManager::FilterHash(
@@ -344,6 +452,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
         entry->benefit = benefit;
         entry->cols = std::move(*aggregated);
         entry->cols.AppendToRows(&rows);
+        MaybeCompressEntry(entry.get());
         ++stats->chunks_from_aggregation;
         // Admit the derived chunk so the next query gets a direct hit;
         // publish the same allocation to any waiters.
@@ -380,9 +489,9 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
   std::vector<AggTuple> hit_rows;
   const auto assemble_hits = [&] {
     size_t total = 0;
-    for (const auto& h : cached) total += h->cols.size();
+    for (const auto& h : cached) total += h->rows();
     hit_rows.reserve(total);
-    for (const auto& h : cached) h->cols.AppendToRows(&hit_rows);
+    for (const auto& h : cached) ResolveCols(h)->AppendToRows(&hit_rows);
   };
   const auto compute_once = [&]() -> Result<std::vector<ChunkData>> {
     if (scheduler_ != nullptr) {
@@ -414,7 +523,18 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
     computed = compute_owned();
     wg.Wait();
   } else {
+    // Hit assembly on the query thread gets a decode span (compression
+    // only; never in the overlap branch, where it runs on a pool worker —
+    // spans stay on the query's own thread by design).
+    const uint32_t decode_span =
+        options_.enable_compression && !cached.empty()
+            ? trace->BeginSpan("decode", trace->root())
+            : TraceBuilder::kNoSpan;
     assemble_hits();
+    if (decode_span != TraceBuilder::kNoSpan) {
+      trace->Tag(decode_span, "chunks", static_cast<uint64_t>(cached.size()));
+      trace->EndSpan(decode_span);
+    }
     if (!owned_nums.empty()) computed = compute_owned();
   }
   bool answered_degraded = false;
@@ -452,6 +572,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
     }
   }
   if (!answered_degraded) stats->chunks_from_backend = computed->size();
+  const uint32_t encode_span =
+      options_.enable_compression && !computed->empty()
+          ? trace->BeginSpan("encode", miss_span)
+          : TraceBuilder::kNoSpan;
   for (size_t i = 0; i < computed->size(); ++i) {
     ChunkData& data = (*computed)[i];
     auto entry = std::make_shared<cache::CachedChunk>();
@@ -461,6 +585,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
     entry->benefit = benefit;
     entry->cols = std::move(data.cols);
     entry->cols.AppendToRows(&rows);
+    MaybeCompressEntry(entry.get());
     cache::ChunkHandle handle = entry;
     cache_.Insert(std::move(entry));
     // Insert before Publish: a claimant that re-probes after the entry
@@ -470,6 +595,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
                         owned[i].slot, std::move(handle));
       owned[i].slot = nullptr;
     }
+  }
+  if (encode_span != TraceBuilder::kNoSpan) {
+    trace->Tag(encode_span, "chunks", static_cast<uint64_t>(computed->size()));
+    trace->EndSpan(encode_span);
   }
   if (miss_span != TraceBuilder::kNoSpan) {
     trace->Tag(miss_span, "provenance",
@@ -493,7 +622,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
   for (const Miss& wm : waits) {
     Result<cache::ChunkHandle> res = wm.slot->WaitUntil(ctrl.deadline);
     if (res.ok()) {
-      (*res)->cols.AppendToRows(&rows);
+      ResolveCols(*res)->AppendToRows(&rows);
       ++stats->coalesced_waits;
       continue;
     }
@@ -502,7 +631,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
     }
     cache::ChunkHandle raced = cache_.Lookup(gb_id, wm.chunk_num, filter_hash);
     if (raced != nullptr) {
-      raced->cols.AppendToRows(&rows);
+      ResolveCols(raced)->AppendToRows(&rows);
       ++stats->chunks_from_cache;
       continue;
     }
@@ -519,6 +648,7 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
         entry->benefit = benefit;
         entry->cols = std::move(*cols);
         entry->cols.AppendToRows(&rows);
+        MaybeCompressEntry(entry.get());
         ++stats->degraded_answers;
         cache_.Insert(std::move(entry));
         continue;
@@ -626,7 +756,7 @@ std::optional<storage::AggColumns> ChunkCacheManager::TryInCacheAggregation(
                                  engine_->options().dense_cell_limit,
                                  engine_->kernel_counters());
     for (const cache::ChunkHandle& chunk : sources) {
-      agg.AddAggColumns(chunk->cols, src);
+      agg.AddAggColumns(*ResolveCols(chunk), src);
     }
     return agg.TakeColumns();  // already canonical order
   }
@@ -734,6 +864,7 @@ Result<uint64_t> ChunkCacheManager::RunPrefetch(
     entry->filter_hash = filter_hash;
     entry->benefit = plan.benefit;
     entry->cols = std::move(data.cols);
+    MaybeCompressEntry(entry.get());
     cache::ChunkHandle handle = entry;
     cache_.Insert(std::move(entry));
     if (slots[i] != nullptr) {

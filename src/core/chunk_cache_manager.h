@@ -1,6 +1,7 @@
 #ifndef CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
 #define CHUNKCACHE_CORE_CHUNK_CACHE_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -10,12 +11,14 @@
 #include "backend/engine.h"
 #include "backend/scan_scheduler.h"
 #include "cache/chunk_cache.h"
+#include "cache/decoded_cache.h"
 #include "common/inflight_table.h"
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/middle_tier.h"
+#include "storage/codec.h"
 
 namespace chunkcache::core {
 
@@ -85,6 +88,20 @@ struct ChunkManagerOptions {
   /// through the Execute(query, stats) interface get this deadline; the
   /// Execute overload taking an ExecControl overrides it.
   uint64_t default_deadline_ms = 0;
+
+  /// Compressed in-memory cache tier: admitted chunks are stored
+  /// codec-encoded (the budget charges encoded bytes, so effective
+  /// capacity rises at fixed cache_bytes) and hits decode on demand
+  /// through a small decoded-LRU front. Entries whose encoding doesn't
+  /// save bytes stay raw. Off == today's raw entries; query results are
+  /// bit-identical either way (the codecs are lossless), which
+  /// compression_test checks end to end.
+  bool enable_compression = false;
+
+  /// Budget of the decoded-LRU front (used only with enable_compression).
+  /// Holds the most recently decoded chunks so back-to-back hits on the
+  /// same chunk decode once. 0 disables the front (every hit decodes).
+  uint64_t decoded_cache_bytes = 4ull << 20;
 
   /// Per-query trace spans retained in a ring buffer (0 = tracing off).
   /// When off, every trace hook in Execute is a disarmed branch-and-return
@@ -200,6 +217,19 @@ class ChunkCacheManager final : public MiddleTier {
       const backend::StarJoinQuery& query, QueryStats* stats,
       const ExecControl& ctrl, TraceBuilder* trace);
 
+  /// Encodes `entry->cols` into `entry->encoded` when compression is on
+  /// and the encoding actually saves bytes (otherwise the entry stays raw
+  /// and compression_skipped counts it). On success the decoded columns
+  /// move into the decoded-LRU front, so the query that computed the chunk
+  /// — and its coalesced waiters — read them back without a decode.
+  void MaybeCompressEntry(cache::CachedChunk* entry);
+
+  /// The columns of a cache hit: raw entries alias the handle's own cols
+  /// (no copy, the handle keeps them alive); compressed entries come from
+  /// the decoded-LRU front or a fresh timed decode.
+  std::shared_ptr<const storage::AggColumns> ResolveCols(
+      const cache::ChunkHandle& h);
+
   /// Runs `plan`'s fetches (dropping chunks another query is already
   /// computing, claiming the rest through the in-flight table), admits and
   /// publishes each computed chunk, and returns how many were fetched.
@@ -216,6 +246,9 @@ class ChunkCacheManager final : public MiddleTier {
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
   cache::ChunkCache cache_;
+  // Decoded-LRU front of the compressed tier; null unless
+  // enable_compression && decoded_cache_bytes > 0.
+  std::unique_ptr<cache::DecodedCache> decoded_;
   Inflight inflight_;
   std::unique_ptr<backend::ScanScheduler> scheduler_;
   std::unique_ptr<TraceRecorder> trace_;
@@ -238,6 +271,21 @@ class ChunkCacheManager final : public MiddleTier {
   Counter* async_prefetched_ = nullptr;   // prefetch.async_chunks
   Counter* prefetch_dropped_ = nullptr;   // prefetch.dropped_inflight
   Histogram* query_latency_ns_ = nullptr;  // query.latency_ns
+
+  // Compressed-tier counters (all zero with compression off).
+  Counter* compressed_chunks_ = nullptr;    // cache.compressed_chunks
+  Counter* compression_skipped_ = nullptr;  // cache.compression_skipped
+  Counter* codec_raw_bytes_ = nullptr;      // cache.codec_raw_bytes
+  Counter* codec_encoded_bytes_ = nullptr;  // cache.codec_encoded_bytes
+  Counter* decode_calls_ = nullptr;         // cache.decode_calls
+  Counter* decoded_lru_hits_ = nullptr;     // cache.decoded_lru_hits
+  // Per-codec column traffic: cache.codec.<name>.{raw,encoded}_bytes and
+  // .columns, indexed by storage::codec::ColumnCodec.
+  std::array<Counter*, storage::codec::kNumCodecs> codec_col_raw_{};
+  std::array<Counter*, storage::codec::kNumCodecs> codec_col_encoded_{};
+  std::array<Counter*, storage::codec::kNumCodecs> codec_col_columns_{};
+  Histogram* encode_ns_ = nullptr;  // codec.encode_ns
+  Histogram* decode_ns_ = nullptr;  // codec.decode_ns
 
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`

@@ -92,6 +92,14 @@ uint64_t AggColumns::ByteSize() const {
   return bytes;
 }
 
+void AggColumns::ShrinkToFit() {
+  for (uint32_t d = 0; d < num_dims_; ++d) coords_[d].shrink_to_fit();
+  sum_.shrink_to_fit();
+  count_.shrink_to_fit();
+  min_.shrink_to_fit();
+  max_.shrink_to_fit();
+}
+
 void AggColumns::SortRowMajor() {
   const size_t n = size();
   if (n < 2) return;
@@ -147,12 +155,20 @@ void AggColumns::FilterToSelection(
   count_.resize(kept);
   min_.resize(kept);
   max_.resize(kept);
+  // A boundary filter can drop most of a chunk's rows, but resize() keeps
+  // the old allocations, so ByteSize() would keep billing the cache for
+  // the pre-filter footprint. Reallocate when at least a third of the
+  // slots (and a non-trivial number of bytes) would otherwise be dead.
+  const size_t row_bytes = num_dims_ * sizeof(uint32_t) + 32;
+  const size_t wasted = sum_.capacity() - kept;
+  if (wasted > kept / 2 && wasted * row_bytes >= 1024) ShrinkToFit();
 }
 
 namespace {
 
 template <typename T>
 void AppendBytes(std::vector<uint8_t>* out, const T* data, size_t n) {
+  if (n == 0) return;  // empty vectors may hand us data() == nullptr
   const size_t at = out->size();
   out->resize(at + n * sizeof(T));
   std::memcpy(out->data() + at, data, n * sizeof(T));
@@ -161,6 +177,7 @@ void AppendBytes(std::vector<uint8_t>* out, const T* data, size_t n) {
 template <typename T>
 bool ReadBytes(const uint8_t*& p, const uint8_t* end, T* data, size_t n) {
   if (static_cast<size_t>(end - p) < n * sizeof(T)) return false;
+  if (n == 0) return true;
   std::memcpy(data, p, n * sizeof(T));
   p += n * sizeof(T);
   return true;
@@ -189,6 +206,13 @@ Result<AggColumns> AggColumns::Deserialize(const uint8_t* data, size_t len) {
   }
   if (header[0] > kMaxDims) {
     return Status::Corruption("AggColumns: bad dimension count");
+  }
+  // Validate the claimed row count against the bytes actually present
+  // BEFORE sizing any column: a corrupt header must never drive a huge
+  // allocation or a partial read past the buffer.
+  const uint64_t row_bytes = header[0] * 4 + 32;
+  if (header[1] > (len - 16) / row_bytes) {
+    return Status::Corruption("AggColumns: row count beyond input size");
   }
   AggColumns cols(static_cast<uint32_t>(header[0]));
   const size_t n = static_cast<size_t>(header[1]);

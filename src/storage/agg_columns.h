@@ -70,6 +70,11 @@ class AggColumns {
   /// allocator really holds capacity() slots per column.
   uint64_t ByteSize() const;
 
+  /// Reallocates every column down to exactly size() slots. Called after
+  /// operations that shrink the row count (boundary filtering) so the
+  /// cache charge reflects what is kept, not what was scanned.
+  void ShrinkToFit();
+
   /// Sorts rows into row-major coordinate order (dimension 0 outermost) —
   /// the canonical order SortRows defines for row vectors.
   void SortRowMajor();

@@ -1,0 +1,134 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace chunkcache::storage {
+
+Status BlockStore::AppendBlock(uint32_t rows,
+                               const std::vector<uint8_t>& payload) {
+  if (rows == 0) return Status::InvalidArgument("BlockStore: empty block");
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("BlockStore: oversized block");
+  }
+  if (next_page_ == 0) next_page_ = first_page_;
+
+  BlockHeader h;
+  h.rows = rows;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  h.crc = Crc32c(payload.data(), payload.size());
+
+  const size_t total = kBlockHeaderSize + payload.size();
+  const uint32_t num_pages =
+      static_cast<uint32_t>((total + kPageSize - 1) / kPageSize);
+
+  BlockRef ref;
+  ref.first_row = total_rows_;
+  ref.rows = rows;
+  ref.first_page = next_page_;
+  ref.num_pages = num_pages;
+
+  size_t written = 0;
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Allocate(file_id_));
+    if (guard.id().page_no != next_page_ + i) {
+      return Status::Internal("BlockStore: non-contiguous allocation");
+    }
+    uint8_t* dst = guard.page()->data.data();
+    size_t at = 0;
+    if (i == 0) {
+      std::memcpy(dst, &h, kBlockHeaderSize);
+      at = kBlockHeaderSize;
+    }
+    const size_t n =
+        std::min(kPageSize - at, payload.size() - written);
+    std::memcpy(dst + at, payload.data() + written, n);
+    written += n;
+    guard.MarkDirty();
+  }
+
+  next_page_ += num_pages;
+  total_rows_ += rows;
+  blocks_.push_back(ref);
+  return Status::OK();
+}
+
+Status BlockStore::Rebuild(uint64_t total_rows) {
+  blocks_.clear();
+  total_rows_ = 0;
+  next_page_ = first_page_;
+  while (total_rows_ < total_rows) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(PageGuard guard,
+                                pool_->Fetch(PageId{file_id_, next_page_}));
+    BlockHeader h;
+    std::memcpy(&h, guard.page()->data.data(), kBlockHeaderSize);
+    if (h.rows == 0 || total_rows_ + h.rows > total_rows) {
+      return Status::Corruption("BlockStore: inconsistent block chain");
+    }
+    BlockRef ref;
+    ref.first_row = total_rows_;
+    ref.rows = h.rows;
+    ref.first_page = next_page_;
+    ref.num_pages = static_cast<uint32_t>(
+        (kBlockHeaderSize + static_cast<size_t>(h.payload_len) + kPageSize -
+         1) /
+        kPageSize);
+    blocks_.push_back(ref);
+    next_page_ += ref.num_pages;
+    total_rows_ += h.rows;
+  }
+  return Status::OK();
+}
+
+size_t BlockStore::FindBlock(uint64_t row) const {
+  CHUNKCACHE_DCHECK(!blocks_.empty() && row < total_rows_);
+  // Last block whose first_row <= row.
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), row,
+      [](uint64_t r, const BlockRef& b) { return r < b.first_row; });
+  return static_cast<size_t>(it - blocks_.begin()) - 1;
+}
+
+Status BlockStore::ReadBlock(size_t idx, std::vector<uint8_t>* out) {
+  if (idx >= blocks_.size()) {
+    return Status::OutOfRange("BlockStore: block index beyond directory");
+  }
+  const BlockRef& ref = blocks_[idx];
+  out->clear();
+  BlockHeader h{};
+  size_t read = 0;
+  for (uint32_t i = 0; i < ref.num_pages; ++i) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->Fetch(PageId{file_id_, ref.first_page + i}));
+    const uint8_t* src = guard.page()->data.data();
+    size_t at = 0;
+    if (i == 0) {
+      std::memcpy(&h, src, kBlockHeaderSize);
+      if (h.rows != ref.rows) {
+        return Status::Corruption("BlockStore: block header row mismatch");
+      }
+      if (static_cast<size_t>(h.payload_len) + kBlockHeaderSize >
+          static_cast<size_t>(ref.num_pages) * kPageSize) {
+        return Status::Corruption("BlockStore: block payload overruns pages");
+      }
+      out->resize(h.payload_len);
+      at = kBlockHeaderSize;
+    }
+    const size_t n = std::min(kPageSize - at, out->size() - read);
+    std::memcpy(out->data() + read, src + at, n);
+    read += n;
+  }
+  if (read != out->size()) {
+    return Status::Corruption("BlockStore: short block read");
+  }
+  if (Crc32c(out->data(), out->size()) != h.crc) {
+    return Status::Corruption("BlockStore: block checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace chunkcache::storage

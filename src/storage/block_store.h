@@ -1,0 +1,74 @@
+#ifndef CHUNKCACHE_STORAGE_BLOCK_STORE_H_
+#define CHUNKCACHE_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace chunkcache::storage {
+
+/// Page layout shared by the compressed FactFile / AggFile modes: the file
+/// is a sequence of variable-length *blocks*, each holding a fixed target
+/// number of rows encoded with the storage/codec blob format. A block
+/// starts on a page boundary with
+///
+///   BlockHeader { u32 rows | u32 payload_len | u32 crc32c(payload) }
+///
+/// and its payload spans ceil((12 + payload_len) / kPageSize) contiguous
+/// pages. Blocks are self-describing, so no directory is persisted: Open
+/// rebuilds the in-memory block directory by walking headers (one page pin
+/// per block), which also verifies the chain is structurally sound.
+class BlockStore {
+ public:
+  struct BlockRef {
+    uint64_t first_row = 0;
+    uint32_t rows = 0;
+    uint32_t first_page = 0;
+    uint32_t num_pages = 0;
+  };
+
+  BlockStore(BufferPool* pool, uint32_t file_id, uint32_t first_page)
+      : pool_(pool), file_id_(file_id), first_page_(first_page) {}
+
+  /// Appends one block of `rows` rows with the given encoded payload,
+  /// allocating fresh pages through the buffer pool.
+  Status AppendBlock(uint32_t rows, const std::vector<uint8_t>& payload);
+
+  /// Rebuilds the directory by walking block headers until `total_rows`
+  /// rows are accounted for. Fails with Corruption on a short or
+  /// inconsistent chain.
+  Status Rebuild(uint64_t total_rows);
+
+  /// Index of the block containing `row` (which must be < total rows).
+  size_t FindBlock(uint64_t row) const;
+
+  /// Reads block `idx`'s payload into `*out` (replacing its contents) and
+  /// verifies the stored CRC32C.
+  Status ReadBlock(size_t idx, std::vector<uint8_t>* out);
+
+  const std::vector<BlockRef>& blocks() const { return blocks_; }
+
+  /// Total data pages occupied by appended blocks.
+  uint32_t num_pages() const { return next_page_ - first_page_; }
+
+ private:
+  struct BlockHeader {
+    uint32_t rows;
+    uint32_t payload_len;
+    uint32_t crc;
+  };
+  static constexpr size_t kBlockHeaderSize = 12;
+
+  BufferPool* pool_;
+  uint32_t file_id_;
+  uint32_t first_page_;
+  uint32_t next_page_ = 0;  // set by first Append / Rebuild
+  uint64_t total_rows_ = 0;
+  std::vector<BlockRef> blocks_;
+};
+
+}  // namespace chunkcache::storage
+
+#endif  // CHUNKCACHE_STORAGE_BLOCK_STORE_H_

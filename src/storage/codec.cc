@@ -1,0 +1,726 @@
+#include "storage/codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace chunkcache::storage::codec {
+
+namespace {
+
+// -- varint / zigzag primitives --------------------------------------------
+
+constexpr size_t kMaxVarintLen = 10;  // 64 bits / 7 bits per byte, rounded up
+
+inline size_t VarintLen(uint64_t v) {
+  // bit_width(0) == 0; a zero still takes one byte.
+  return std::max<size_t>(1, (std::bit_width(v) + 6) / 7);
+}
+
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Bounds-checked varint parse; rejects encodings longer than 10 bytes.
+inline bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t result = 0;
+  uint32_t shift = 0;
+  const uint8_t* q = *p;
+  while (q < end && shift < 70) {
+    const uint8_t byte = *q++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << (shift < 64 ? shift : 63);
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && (byte >> 1) != 0) return false;  // overflows 64 bits
+      *p = q;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or over-long
+}
+
+/// Fast-path varint parse for callers that guarantee >= kMaxVarintLen
+/// readable bytes: the common one-byte case is a single branch.
+inline const uint8_t* GetVarintFast(const uint8_t* p, uint64_t* v) {
+  uint64_t result = *p;
+  if ((result & 0x80) == 0) {
+    *v = result;
+    return p + 1;
+  }
+  result &= 0x7F;
+  uint32_t shift = 7;
+  do {
+    const uint8_t byte = *++p;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p + 1;
+    }
+    shift += 7;
+  } while (shift < 64);
+  return nullptr;  // over-long
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline uint64_t BitsOf(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+inline double DoubleOf(uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, 8);
+  return d;
+}
+
+// -- cost estimators (compute the encoded size without materializing) ------
+
+template <typename T>
+size_t VarintCost(const T* v, size_t n) {
+  size_t bytes = 0;
+  for (size_t i = 0; i < n; ++i) bytes += VarintLen(static_cast<uint64_t>(v[i]));
+  return bytes;
+}
+
+template <typename T>
+size_t DeltaZigzagCost(const T* v, size_t n) {
+  if (n == 0) return 0;
+  size_t bytes = VarintLen(ZigzagEncode(static_cast<int64_t>(v[0])));
+  for (size_t i = 1; i < n; ++i) {
+    // Subtract with unsigned wraparound: u64 extremes overflow int64.
+    const uint64_t delta =
+        static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(v[i - 1]);
+    bytes += VarintLen(ZigzagEncode(static_cast<int64_t>(delta)));
+  }
+  return bytes;
+}
+
+template <typename T>
+size_t DeltaOfDeltaCost(const T* v, size_t n) {
+  if (n == 0) return 0;
+  size_t bytes = VarintLen(ZigzagEncode(static_cast<int64_t>(v[0])));
+  uint64_t prev_delta = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t delta =
+        static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(v[i - 1]);
+    bytes += VarintLen(ZigzagEncode(static_cast<int64_t>(delta - prev_delta)));
+    prev_delta = delta;
+  }
+  return bytes;
+}
+
+size_t XorVarintCost(const double* v, size_t n) {
+  if (n == 0) return 0;
+  size_t bytes = 8;
+  uint64_t prev = BitsOf(v[0]);
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t bits = BitsOf(v[i]);
+    bytes += VarintLen(bits ^ prev);
+    prev = bits;
+  }
+  return bytes;
+}
+
+// -- dictionary candidate for u32 columns ----------------------------------
+
+/// Distinct-value cap: a dictionary bigger than this cannot beat delta
+/// coding on ordinal data, so the distinct scan gives up early.
+constexpr size_t kMaxDictSize = 4096;
+
+struct DictPlan {
+  std::vector<uint32_t> values;  // sorted ascending distinct
+  size_t cost = SIZE_MAX;        // encoded bytes if chosen
+  uint32_t bits = 0;             // index width
+};
+
+DictPlan PlanDict(const uint32_t* v, size_t n) {
+  DictPlan plan;
+  if (n == 0) return plan;
+  std::unordered_set<uint32_t> distinct;
+  distinct.reserve(256);
+  for (size_t i = 0; i < n; ++i) {
+    distinct.insert(v[i]);
+    if (distinct.size() > kMaxDictSize) return plan;  // not worth it
+  }
+  plan.values.assign(distinct.begin(), distinct.end());
+  std::sort(plan.values.begin(), plan.values.end());
+  plan.bits = std::max<uint32_t>(
+      1, std::bit_width(static_cast<uint32_t>(plan.values.size() - 1)));
+  size_t bytes = VarintLen(plan.values.size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < plan.values.size(); ++i) {
+    bytes += VarintLen(i == 0 ? plan.values[0] : plan.values[i] - prev);
+    prev = plan.values[i];
+  }
+  bytes += (n * plan.bits + 7) / 8;
+  plan.cost = bytes;
+  return plan;
+}
+
+// -- encoders ---------------------------------------------------------------
+
+template <typename T>
+void EncodeDeltaZigzag(const T* v, size_t n, std::vector<uint8_t>* out) {
+  if (n == 0) return;
+  PutVarint(out, ZigzagEncode(static_cast<int64_t>(v[0])));
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t delta =
+        static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(v[i - 1]);
+    PutVarint(out, ZigzagEncode(static_cast<int64_t>(delta)));
+  }
+}
+
+template <typename T>
+void EncodeDeltaOfDelta(const T* v, size_t n, std::vector<uint8_t>* out) {
+  if (n == 0) return;
+  PutVarint(out, ZigzagEncode(static_cast<int64_t>(v[0])));
+  uint64_t prev_delta = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t delta =
+        static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(v[i - 1]);
+    PutVarint(out, ZigzagEncode(static_cast<int64_t>(delta - prev_delta)));
+    prev_delta = delta;
+  }
+}
+
+void EncodeDict(const uint32_t* v, size_t n, const DictPlan& plan,
+                std::vector<uint8_t>* out) {
+  PutVarint(out, plan.values.size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < plan.values.size(); ++i) {
+    PutVarint(out, i == 0 ? plan.values[0] : plan.values[i] - prev);
+    prev = plan.values[i];
+  }
+  // Bit-packed indexes, little-endian bit order within a 64-bit buffer.
+  uint64_t acc = 0;
+  uint32_t acc_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t idx = static_cast<uint32_t>(
+        std::lower_bound(plan.values.begin(), plan.values.end(), v[i]) -
+        plan.values.begin());
+    acc |= static_cast<uint64_t>(idx) << acc_bits;
+    acc_bits += plan.bits;
+    while (acc_bits >= 8) {
+      out->push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out->push_back(static_cast<uint8_t>(acc));
+}
+
+void EncodeXorVarint(const double* v, size_t n, std::vector<uint8_t>* out) {
+  if (n == 0) return;
+  uint64_t prev = BitsOf(v[0]);
+  const size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &prev, 8);
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t bits = BitsOf(v[i]);
+    PutVarint(out, bits ^ prev);
+    prev = bits;
+  }
+}
+
+template <typename T>
+void EncodeRaw(const T* v, size_t n, std::vector<uint8_t>* out) {
+  if (n == 0) return;  // empty vectors may hand us data() == nullptr
+  const size_t at = out->size();
+  out->resize(at + n * sizeof(T));
+  std::memcpy(out->data() + at, v, n * sizeof(T));
+}
+
+void NoteCodec(CodecStats* stats, ColumnCodec codec, size_t raw,
+               size_t encoded) {
+  if (stats == nullptr) return;
+  const size_t i = static_cast<size_t>(codec);
+  stats->raw_bytes[i] += raw;
+  stats->encoded_bytes[i] += encoded;
+  stats->columns[i] += 1;
+}
+
+/// Emits `tag | varint(payload_len) | payload` by encoding into `*out`
+/// directly: the payload length is computed up front by the cost
+/// estimators, so no second buffer or memmove is needed.
+template <typename EncodeFn>
+void EmitColumn(std::vector<uint8_t>* out, ColumnCodec tag,
+                size_t payload_len, EncodeFn&& encode) {
+  out->push_back(static_cast<uint8_t>(tag));
+  PutVarint(out, payload_len);
+  const size_t at = out->size();
+  encode(out);
+  CHUNKCACHE_DCHECK(out->size() - at == payload_len);
+  (void)at;
+}
+
+// -- column decode helpers --------------------------------------------------
+
+struct ColumnHeader {
+  ColumnCodec codec;
+  const uint8_t* payload;
+  size_t len;
+};
+
+Status ReadColumnHeader(const uint8_t** p, const uint8_t* end,
+                        ColumnHeader* h) {
+  if (*p >= end) return Status::Corruption("codec: truncated column tag");
+  const uint8_t tag = *(*p)++;
+  if (tag >= kNumCodecs) return Status::Corruption("codec: bad column tag");
+  uint64_t len;
+  if (!GetVarint(p, end, &len)) {
+    return Status::Corruption("codec: bad column length");
+  }
+  if (len > static_cast<uint64_t>(end - *p)) {
+    return Status::Corruption("codec: column length beyond input");
+  }
+  h->codec = static_cast<ColumnCodec>(tag);
+  h->payload = *p;
+  h->len = static_cast<size_t>(len);
+  *p += len;
+  return Status::OK();
+}
+
+/// Decodes a varint stream of exactly `n` values into `fn(i, value)`.
+/// kFast uses the unchecked parser while >= kMaxVarintLen bytes remain.
+template <typename Fn>
+Status DecodeVarintStream(const ColumnHeader& h, size_t n, DecodeMode mode,
+                          Fn&& fn) {
+  const uint8_t* p = h.payload;
+  const uint8_t* end = h.payload + h.len;
+  size_t i = 0;
+  if (mode == DecodeMode::kFast) {
+    while (i < n && end - p >= static_cast<ptrdiff_t>(kMaxVarintLen)) {
+      uint64_t v;
+      const uint8_t* q = GetVarintFast(p, &v);
+      if (q == nullptr) return Status::Corruption("codec: over-long varint");
+      p = q;
+      fn(i++, v);
+    }
+  }
+  for (; i < n; ++i) {
+    uint64_t v;
+    if (!GetVarint(&p, end, &v)) {
+      return Status::Corruption("codec: truncated varint stream");
+    }
+    fn(i, v);
+  }
+  if (p != end) return Status::Corruption("codec: trailing column bytes");
+  return Status::OK();
+}
+
+template <typename T>
+Status DecodeRawColumn(const ColumnHeader& h, size_t n, std::vector<T>* out) {
+  if (h.len != n * sizeof(T)) {
+    return Status::Corruption("codec: raw column size mismatch");
+  }
+  if (n == 0) return Status::OK();
+  const size_t at = out->size();
+  out->resize(at + n);
+  std::memcpy(out->data() + at, h.payload, h.len);
+  return Status::OK();
+}
+
+template <typename T>
+Status DecodeIntColumn(const ColumnHeader& h, size_t n, std::vector<T>* out,
+                       DecodeMode mode) {
+  const size_t at = out->size();
+  switch (h.codec) {
+    case ColumnCodec::kRaw:
+      return DecodeRawColumn(h, n, out);
+    case ColumnCodec::kVarint: {
+      out->resize(at + n);
+      T* dst = out->data() + at;
+      Status s = DecodeVarintStream(h, n, mode, [&](size_t i, uint64_t v) {
+        dst[i] = static_cast<T>(v);
+      });
+      if (!s.ok()) out->resize(at);
+      return s;
+    }
+    case ColumnCodec::kDeltaZigzag: {
+      out->resize(at + n);
+      T* dst = out->data() + at;
+      uint64_t prev = 0;
+      Status s = DecodeVarintStream(h, n, mode, [&](size_t i, uint64_t v) {
+        prev = (i == 0 ? uint64_t{0} : prev) +
+               static_cast<uint64_t>(ZigzagDecode(v));
+        dst[i] = static_cast<T>(prev);
+      });
+      if (!s.ok()) out->resize(at);
+      return s;
+    }
+    case ColumnCodec::kDeltaOfDelta: {
+      out->resize(at + n);
+      T* dst = out->data() + at;
+      uint64_t prev = 0;
+      uint64_t prev_delta = 0;
+      Status s = DecodeVarintStream(h, n, mode, [&](size_t i, uint64_t v) {
+        if (i == 0) {
+          prev = static_cast<uint64_t>(ZigzagDecode(v));
+        } else {
+          prev_delta += static_cast<uint64_t>(ZigzagDecode(v));
+          prev += prev_delta;
+        }
+        dst[i] = static_cast<T>(prev);
+      });
+      if (!s.ok()) out->resize(at);
+      return s;
+    }
+    case ColumnCodec::kDict: {
+      if constexpr (sizeof(T) != 4) {
+        return Status::Corruption("codec: dict codec on non-u32 column");
+      } else {
+        const uint8_t* p = h.payload;
+        const uint8_t* end = h.payload + h.len;
+        uint64_t dict_size;
+        if (!GetVarint(&p, end, &dict_size) || dict_size == 0 ||
+            dict_size > kMaxDictSize) {
+          return Status::Corruption("codec: bad dictionary size");
+        }
+        std::vector<uint32_t> dict(static_cast<size_t>(dict_size));
+        uint64_t prev = 0;
+        for (size_t i = 0; i < dict.size(); ++i) {
+          uint64_t d;
+          if (!GetVarint(&p, end, &d)) {
+            return Status::Corruption("codec: truncated dictionary");
+          }
+          prev = i == 0 ? d : prev + d;
+          if (prev > UINT32_MAX) {
+            return Status::Corruption("codec: dictionary value overflow");
+          }
+          dict[i] = static_cast<uint32_t>(prev);
+        }
+        const uint32_t bits = std::max<uint32_t>(
+            1, std::bit_width(static_cast<uint32_t>(dict.size() - 1)));
+        if (static_cast<uint64_t>(end - p) != (n * bits + 7) / 8) {
+          return Status::Corruption("codec: dict index block size mismatch");
+        }
+        out->resize(at + n);
+        T* dst = out->data() + at;
+        uint64_t acc = 0;
+        uint32_t acc_bits = 0;
+        const uint64_t mask = (uint64_t{1} << bits) - 1;
+        for (size_t i = 0; i < n; ++i) {
+          while (acc_bits < bits) {
+            acc |= static_cast<uint64_t>(*p++) << acc_bits;
+            acc_bits += 8;
+          }
+          const uint64_t idx = acc & mask;
+          acc >>= bits;
+          acc_bits -= bits;
+          if (idx >= dict.size()) {
+            out->resize(at);
+            return Status::Corruption("codec: dict index out of range");
+          }
+          dst[i] = dict[static_cast<size_t>(idx)];
+        }
+        return Status::OK();
+      }
+    }
+    case ColumnCodec::kXorVarint:
+      return Status::Corruption("codec: xor codec on integer column");
+  }
+  return Status::Corruption("codec: unreachable tag");
+}
+
+}  // namespace
+
+const char* CodecName(ColumnCodec c) {
+  switch (c) {
+    case ColumnCodec::kRaw:
+      return "raw";
+    case ColumnCodec::kVarint:
+      return "varint";
+    case ColumnCodec::kDeltaZigzag:
+      return "delta";
+    case ColumnCodec::kDeltaOfDelta:
+      return "dod";
+    case ColumnCodec::kDict:
+      return "dict";
+    case ColumnCodec::kXorVarint:
+      return "xor";
+  }
+  return "unknown";
+}
+
+void EncodeU32Column(const uint32_t* v, size_t n, std::vector<uint8_t>* out,
+                     CodecStats* stats) {
+  const size_t raw_cost = n * 4;
+  const size_t delta_cost = DeltaZigzagCost(v, n);
+  const size_t dod_cost = DeltaOfDeltaCost(v, n);
+  const DictPlan dict = PlanDict(v, n);
+
+  size_t best_cost = raw_cost;
+  ColumnCodec best = ColumnCodec::kRaw;
+  if (delta_cost < best_cost) best_cost = delta_cost, best = ColumnCodec::kDeltaZigzag;
+  if (dod_cost < best_cost) best_cost = dod_cost, best = ColumnCodec::kDeltaOfDelta;
+  if (dict.cost < best_cost) best_cost = dict.cost, best = ColumnCodec::kDict;
+
+  EmitColumn(out, best, best_cost, [&](std::vector<uint8_t>* dst) {
+    switch (best) {
+      case ColumnCodec::kRaw:
+        EncodeRaw(v, n, dst);
+        break;
+      case ColumnCodec::kDeltaZigzag:
+        EncodeDeltaZigzag(v, n, dst);
+        break;
+      case ColumnCodec::kDeltaOfDelta:
+        EncodeDeltaOfDelta(v, n, dst);
+        break;
+      case ColumnCodec::kDict:
+        EncodeDict(v, n, dict, dst);
+        break;
+      default:
+        break;
+    }
+  });
+  NoteCodec(stats, best, raw_cost, best_cost);
+}
+
+void EncodeU64Column(const uint64_t* v, size_t n, std::vector<uint8_t>* out,
+                     CodecStats* stats) {
+  const size_t raw_cost = n * 8;
+  const size_t varint_cost = VarintCost(v, n);
+  const size_t delta_cost = DeltaZigzagCost(v, n);
+
+  size_t best_cost = raw_cost;
+  ColumnCodec best = ColumnCodec::kRaw;
+  if (varint_cost < best_cost) best_cost = varint_cost, best = ColumnCodec::kVarint;
+  if (delta_cost < best_cost) best_cost = delta_cost, best = ColumnCodec::kDeltaZigzag;
+
+  EmitColumn(out, best, best_cost, [&](std::vector<uint8_t>* dst) {
+    switch (best) {
+      case ColumnCodec::kRaw:
+        EncodeRaw(v, n, dst);
+        break;
+      case ColumnCodec::kVarint:
+        for (size_t i = 0; i < n; ++i) PutVarint(dst, v[i]);
+        break;
+      case ColumnCodec::kDeltaZigzag:
+        EncodeDeltaZigzag(v, n, dst);
+        break;
+      default:
+        break;
+    }
+  });
+  NoteCodec(stats, best, raw_cost, best_cost);
+}
+
+void EncodeF64Column(const double* v, size_t n, std::vector<uint8_t>* out,
+                     CodecStats* stats) {
+  const size_t raw_cost = n * 8;
+  const size_t xor_cost = XorVarintCost(v, n);
+
+  size_t best_cost = raw_cost;
+  ColumnCodec best = ColumnCodec::kRaw;
+  if (xor_cost < best_cost) best_cost = xor_cost, best = ColumnCodec::kXorVarint;
+
+  EmitColumn(out, best, best_cost, [&](std::vector<uint8_t>* dst) {
+    if (best == ColumnCodec::kRaw) {
+      EncodeRaw(v, n, dst);
+    } else {
+      EncodeXorVarint(v, n, dst);
+    }
+  });
+  NoteCodec(stats, best, raw_cost, best_cost);
+}
+
+Status DecodeU32Column(const uint8_t** p, const uint8_t* end, size_t n,
+                       std::vector<uint32_t>* out, DecodeMode mode) {
+  ColumnHeader h;
+  CHUNKCACHE_RETURN_IF_ERROR(ReadColumnHeader(p, end, &h));
+  return DecodeIntColumn(h, n, out, mode);
+}
+
+Status DecodeU64Column(const uint8_t** p, const uint8_t* end, size_t n,
+                       std::vector<uint64_t>* out, DecodeMode mode) {
+  ColumnHeader h;
+  CHUNKCACHE_RETURN_IF_ERROR(ReadColumnHeader(p, end, &h));
+  return DecodeIntColumn(h, n, out, mode);
+}
+
+Status DecodeF64Column(const uint8_t** p, const uint8_t* end, size_t n,
+                       std::vector<double>* out, DecodeMode mode) {
+  ColumnHeader h;
+  CHUNKCACHE_RETURN_IF_ERROR(ReadColumnHeader(p, end, &h));
+  const size_t at = out->size();
+  switch (h.codec) {
+    case ColumnCodec::kRaw:
+      return DecodeRawColumn(h, n, out);
+    case ColumnCodec::kXorVarint: {
+      if (n == 0) {
+        return h.len == 0 ? Status::OK()
+                          : Status::Corruption("codec: trailing column bytes");
+      }
+      if (h.len < 8) return Status::Corruption("codec: truncated xor column");
+      uint64_t prev;
+      std::memcpy(&prev, h.payload, 8);
+      out->resize(at + n);
+      double* dst = out->data() + at;
+      dst[0] = DoubleOf(prev);
+      const ColumnHeader rest{h.codec, h.payload + 8, h.len - 8};
+      Status s =
+          DecodeVarintStream(rest, n - 1, mode, [&](size_t i, uint64_t v) {
+            prev ^= v;
+            dst[i + 1] = DoubleOf(prev);
+          });
+      if (!s.ok()) out->resize(at);
+      return s;
+    }
+    default:
+      return Status::Corruption("codec: bad codec for double column");
+  }
+}
+
+namespace {
+
+constexpr uint8_t kAggBlobTag = 0xA1;
+constexpr uint8_t kTupleBlobTag = 0xB1;
+
+/// Common blob epilogue: CRC32C over [data, data+len).
+void AppendCrc(std::vector<uint8_t>* out, size_t from) {
+  const uint32_t crc = Crc32c(out->data() + from, out->size() - from);
+  const size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &crc, 4);
+}
+
+/// Validates the trailing CRC and the blob tag; on success sets `*p` past
+/// the tag and `*end` to the start of the CRC, and parses num_dims +
+/// num_rows. A claimed row count is sanity-bounded against the input
+/// length (every active column costs at least one bit per row), so a
+/// corrupt header can never drive a huge allocation.
+Status OpenBlob(const uint8_t* data, size_t len, uint8_t expected_tag,
+                const uint8_t** p, const uint8_t** end, uint32_t* num_dims,
+                size_t* num_rows) {
+  if (len < 6) return Status::Corruption("codec: blob too short");
+  uint32_t crc_stored;
+  std::memcpy(&crc_stored, data + len - 4, 4);
+  if (Crc32c(data, len - 4) != crc_stored) {
+    return Status::Corruption("codec: blob checksum mismatch");
+  }
+  *p = data;
+  *end = data + len - 4;
+  const uint8_t tag = *(*p)++;
+  if (tag != expected_tag) return Status::Corruption("codec: bad blob tag");
+  if (*p >= *end) return Status::Corruption("codec: truncated blob header");
+  *num_dims = *(*p)++;
+  if (*num_dims > kMaxDims) {
+    return Status::Corruption("codec: bad dimension count");
+  }
+  uint64_t rows;
+  if (!GetVarint(p, *end, &rows)) {
+    return Status::Corruption("codec: bad row count");
+  }
+  if (rows > 8 * len) {
+    return Status::Corruption("codec: row count beyond input size");
+  }
+  *num_rows = static_cast<size_t>(rows);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t RawPayloadBytes(const AggColumns& cols) {
+  return cols.size() * (cols.num_dims() * 4ull + 32ull);
+}
+
+uint64_t RawPayloadBytes(const TupleColumns& cols) {
+  return cols.size() * (cols.num_dims * 4ull + 8ull);
+}
+
+void EncodeAggColumns(const AggColumns& cols, std::vector<uint8_t>* out,
+                      CodecStats* stats) {
+  const size_t from = out->size();
+  out->push_back(kAggBlobTag);
+  out->push_back(static_cast<uint8_t>(cols.num_dims()));
+  PutVarint(out, cols.size());
+  const size_t n = cols.size();
+  for (uint32_t d = 0; d < cols.num_dims(); ++d) {
+    EncodeU32Column(cols.coords(d).data(), n, out, stats);
+  }
+  EncodeF64Column(cols.sums().data(), n, out, stats);
+  EncodeU64Column(cols.counts().data(), n, out, stats);
+  EncodeF64Column(cols.mins().data(), n, out, stats);
+  EncodeF64Column(cols.maxs().data(), n, out, stats);
+  AppendCrc(out, from);
+}
+
+Result<AggColumns> DecodeAggColumns(const uint8_t* data, size_t len,
+                                    DecodeMode mode) {
+  const uint8_t* p;
+  const uint8_t* end;
+  uint32_t num_dims;
+  size_t n;
+  CHUNKCACHE_RETURN_IF_ERROR(
+      OpenBlob(data, len, kAggBlobTag, &p, &end, &num_dims, &n));
+  AggColumns cols(num_dims);
+  cols.Reserve(n);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    CHUNKCACHE_RETURN_IF_ERROR(
+        DecodeU32Column(&p, end, n, cols.mutable_coords(d), mode));
+  }
+  CHUNKCACHE_RETURN_IF_ERROR(
+      DecodeF64Column(&p, end, n, cols.mutable_sums(), mode));
+  CHUNKCACHE_RETURN_IF_ERROR(
+      DecodeU64Column(&p, end, n, cols.mutable_counts(), mode));
+  CHUNKCACHE_RETURN_IF_ERROR(
+      DecodeF64Column(&p, end, n, cols.mutable_mins(), mode));
+  CHUNKCACHE_RETURN_IF_ERROR(
+      DecodeF64Column(&p, end, n, cols.mutable_maxs(), mode));
+  if (p != end) return Status::Corruption("codec: trailing blob bytes");
+  return cols;
+}
+
+void EncodeTupleColumns(const TupleColumns& cols, std::vector<uint8_t>* out,
+                        CodecStats* stats) {
+  const size_t from = out->size();
+  out->push_back(kTupleBlobTag);
+  out->push_back(static_cast<uint8_t>(cols.num_dims));
+  PutVarint(out, cols.size());
+  const size_t n = cols.size();
+  for (uint32_t d = 0; d < cols.num_dims; ++d) {
+    EncodeU32Column(cols.keys[d].data(), n, out, stats);
+  }
+  EncodeF64Column(cols.measure.data(), n, out, stats);
+  AppendCrc(out, from);
+}
+
+Result<TupleColumns> DecodeTupleColumns(const uint8_t* data, size_t len,
+                                        DecodeMode mode) {
+  const uint8_t* p;
+  const uint8_t* end;
+  uint32_t num_dims;
+  size_t n;
+  CHUNKCACHE_RETURN_IF_ERROR(
+      OpenBlob(data, len, kTupleBlobTag, &p, &end, &num_dims, &n));
+  TupleColumns cols;
+  cols.num_dims = num_dims;
+  cols.Reserve(n);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    CHUNKCACHE_RETURN_IF_ERROR(
+        DecodeU32Column(&p, end, n, &cols.keys[d], mode));
+  }
+  CHUNKCACHE_RETURN_IF_ERROR(
+      DecodeF64Column(&p, end, n, &cols.measure, mode));
+  if (p != end) return Status::Corruption("codec: trailing blob bytes");
+  return cols;
+}
+
+}  // namespace chunkcache::storage::codec

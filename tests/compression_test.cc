@@ -1,0 +1,401 @@
+// Compression subsystem tests that cut across layers: the FilterToSelection
+// capacity fix, AggColumns::Deserialize hardening against corrupt input,
+// the compressed FactFile/AggFile page formats (round trip and reopen),
+// and the end-to-end ablation — enable_compression on == off must be
+// bit-identical while the compressed tier holds more chunks per byte.
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "backend/agg_file.h"
+#include "backend/chunked_file.h"
+#include "backend/engine.h"
+#include "core/chunk_cache_manager.h"
+#include "gtest/gtest.h"
+#include "schema/synthetic.h"
+#include "storage/agg_columns.h"
+#include "storage/buffer_pool.h"
+#include "storage/codec.h"
+#include "storage/disk_manager.h"
+#include "storage/fact_file.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache {
+namespace {
+
+using backend::ResultRow;
+using backend::StarJoinQuery;
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using core::QueryStats;
+using schema::OrdinalRange;
+using storage::AggColumns;
+using storage::AggTuple;
+using storage::Tuple;
+
+AggColumns MakeAgg(uint32_t num_dims, size_t rows, uint32_t seed = 11) {
+  std::mt19937 rng(seed);
+  AggColumns cols(num_dims);
+  cols.Reserve(rows);
+  std::array<uint32_t, storage::kMaxDims> c{};
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t d = 0; d < num_dims; ++d) c[d] = rng() % 32;
+    const double sum = static_cast<double>(rng() % 100000) / 4.0;
+    cols.PushCell(c.data(), sum, 1 + rng() % 8, sum - 1, sum + 1);
+  }
+  return cols;
+}
+
+// ------------------------- FilterToSelection charge -------------------------
+
+TEST(FilterToSelectionCharge, SharplyFilteredColumnsShrink) {
+  // A big chunk filtered down to a sliver used to keep its full capacity —
+  // the cache then charged ~N slots for ~N/100 rows. The filter must
+  // release the dead capacity so ByteSize reflects what is kept.
+  AggColumns cols = MakeAgg(/*num_dims=*/4, /*rows=*/50000);
+  const uint64_t before = cols.ByteSize();
+  std::array<OrdinalRange, storage::kMaxDims> sel{};
+  for (auto& r : sel) r = OrdinalRange{0, 7};  // keeps ~ (8/32)^4 of rows
+  cols.FilterToSelection(sel);
+  ASSERT_GT(cols.size(), 0u) << "selection kept nothing; widen the range";
+  ASSERT_LT(cols.size(), 5000u);
+  const uint64_t after = cols.ByteSize();
+  EXPECT_LT(after, before / 4)
+      << "charged bytes did not drop with the row count";
+}
+
+TEST(FilterToSelectionCharge, MildFilterSkipsRealloc) {
+  // A filter that keeps nearly everything must not pay a reallocation:
+  // capacity (and thus the charge) may stay where it was.
+  AggColumns cols = MakeAgg(/*num_dims=*/2, /*rows=*/10000);
+  std::array<OrdinalRange, storage::kMaxDims> sel{};
+  for (auto& r : sel) r = OrdinalRange{0, 31};  // keeps everything
+  const uint64_t before = cols.ByteSize();
+  cols.FilterToSelection(sel);
+  EXPECT_EQ(cols.size(), 10000u);
+  EXPECT_EQ(cols.ByteSize(), before);
+}
+
+// ------------------------- Deserialize hardening ----------------------------
+
+TEST(DeserializeHardening, HugeRowCountRejectedBeforeAllocation) {
+  // A corrupt header claiming ~2^61 rows must be rejected by comparing the
+  // claim against the bytes actually present — not by attempting a
+  // multi-exabyte resize.
+  AggColumns cols = MakeAgg(3, 64);
+  std::vector<uint8_t> buf;
+  cols.SerializeTo(&buf);
+  uint64_t huge = uint64_t(1) << 61;
+  std::memcpy(buf.data() + 8, &huge, 8);  // header[1] = row count
+  auto res = AggColumns::Deserialize(buf.data(), buf.size());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DeserializeHardening, TruncatedPrefixesReturnStatus) {
+  AggColumns cols = MakeAgg(5, 200);
+  std::vector<uint8_t> buf;
+  cols.SerializeTo(&buf);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto res = AggColumns::Deserialize(buf.data(), len);
+    EXPECT_FALSE(res.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  auto full = AggColumns::Deserialize(buf.data(), buf.size());
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(*full == cols);
+}
+
+TEST(DeserializeHardening, RandomBitFlipsNeverCrash) {
+  // The flat format has no checksum, so some flips decode "successfully"
+  // into different values — that is fine; what must never happen is a
+  // crash, an over-read, or a giant allocation (ASAN in CI sees all
+  // three).
+  AggColumns cols = MakeAgg(4, 300);
+  std::vector<uint8_t> buf;
+  cols.SerializeTo(&buf);
+  std::mt19937 rng(77);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> bad = buf;
+    const int flips = 1 + rng() % 8;
+    for (int f = 0; f < flips; ++f) {
+      bad[rng() % bad.size()] ^= uint8_t(1u << (rng() % 8));
+    }
+    auto res = AggColumns::Deserialize(bad.data(), bad.size());
+    if (res.ok()) {
+      // Whatever decoded must at least be self-consistent.
+      EXPECT_LE(res->num_dims(), storage::kMaxDims);
+    }
+  }
+}
+
+TEST(DeserializeHardening, RandomGarbageNeverCrashes) {
+  std::mt19937 rng(88);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> junk(rng() % 256);
+    for (auto& b : junk) b = uint8_t(rng());
+    (void)AggColumns::Deserialize(junk.data(), junk.size());
+  }
+}
+
+// ------------------------- Compressed file formats --------------------------
+
+TEST(CompressedFactFile, RoundTripMatchesRawAndSurvivesReopen) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 512);
+  storage::TupleDesc desc;
+  desc.num_dims = 4;
+  auto raw = storage::FactFile::Create(&pool, desc, /*compressed=*/false);
+  auto comp = storage::FactFile::Create(&pool, desc, /*compressed=*/true);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(comp.ok());
+  EXPECT_FALSE(raw->compressed());
+  EXPECT_TRUE(comp->compressed());
+
+  std::mt19937 rng(3);
+  std::vector<Tuple> tuples(5000);
+  for (auto& t : tuples) {
+    for (uint32_t d = 0; d < desc.num_dims; ++d) t.keys[d] = rng() % 500;
+    t.measure = static_cast<double>(rng() % 100000) / 8.0;
+  }
+  for (const Tuple& t : tuples) {
+    ASSERT_TRUE(raw->Append(t).ok());
+    ASSERT_TRUE(comp->Append(t).ok());
+  }
+  ASSERT_EQ(comp->num_tuples(), tuples.size());
+
+  // Point reads and range scans agree with the raw twin, including the
+  // unflushed tail.
+  for (storage::RowId rid : {storage::RowId{0}, storage::RowId{1234},
+                             storage::RowId{tuples.size() - 1}}) {
+    Tuple a, b;
+    ASSERT_TRUE(raw->Get(rid, &a).ok());
+    ASSERT_TRUE(comp->Get(rid, &b).ok());
+    EXPECT_EQ(a.keys, b.keys);
+    EXPECT_EQ(a.measure, b.measure);
+  }
+  storage::TupleColumns ra, rb;
+  ra.num_dims = rb.num_dims = desc.num_dims;
+  ASSERT_TRUE(raw->ScanRangeColumns(100, 3000, &ra).ok());
+  ASSERT_TRUE(comp->ScanRangeColumns(100, 3000, &rb).ok());
+  for (uint32_t d = 0; d < desc.num_dims; ++d) EXPECT_EQ(ra.keys[d], rb.keys[d]);
+  EXPECT_EQ(ra.measure, rb.measure);
+
+  // Compression is the point: fewer data pages than the raw layout.
+  EXPECT_LT(comp->num_data_pages(), raw->num_data_pages());
+
+  // Reopen from disk: the block directory is rebuilt by walking headers.
+  const uint32_t comp_id = comp->file_id();
+  ASSERT_TRUE(comp->SyncHeader().ok());
+  auto reopened = storage::FactFile::Open(&pool, comp_id);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->compressed());
+  ASSERT_EQ(reopened->num_tuples(), tuples.size());
+  size_t idx = 0;
+  ASSERT_TRUE(reopened
+                  ->Scan([&](storage::RowId rid, const Tuple& t) {
+                    EXPECT_EQ(rid, idx);
+                    EXPECT_EQ(t.keys, tuples[idx].keys);
+                    EXPECT_EQ(t.measure, tuples[idx].measure);
+                    ++idx;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(idx, tuples.size());
+}
+
+TEST(CompressedAggFile, RoundTripMatchesRawAndSurvivesReopen) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 512);
+  const uint32_t num_dims = 3;
+  auto raw = backend::AggFile::Create(&pool, num_dims, /*compressed=*/false);
+  auto comp = backend::AggFile::Create(&pool, num_dims, /*compressed=*/true);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(comp.ok());
+
+  AggColumns rows = MakeAgg(num_dims, 20000, /*seed=*/21);
+  rows.SortRowMajor();
+  ASSERT_TRUE(raw->AppendColumns(rows).ok());
+  ASSERT_TRUE(comp->AppendColumns(rows).ok());
+  ASSERT_EQ(comp->num_rows(), rows.size());
+
+  for (uint64_t rid : {uint64_t{0}, uint64_t{777}, rows.size() - 1}) {
+    AggTuple a, b;
+    ASSERT_TRUE(raw->Get(rid, &a).ok());
+    ASSERT_TRUE(comp->Get(rid, &b).ok());
+    EXPECT_EQ(a.coords, b.coords);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.count, b.count);
+  }
+  AggColumns ca(num_dims), cb(num_dims);
+  ASSERT_TRUE(raw->ScanRangeColumns(500, 10000, &ca).ok());
+  ASSERT_TRUE(comp->ScanRangeColumns(500, 10000, &cb).ok());
+  EXPECT_TRUE(ca == cb);
+  EXPECT_LT(comp->num_data_pages(), raw->num_data_pages());
+
+  const uint32_t comp_id = comp->file_id();
+  ASSERT_TRUE(comp->SyncHeader().ok());
+  auto reopened = backend::AggFile::Open(&pool, comp_id);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->num_rows(), rows.size());
+  AggColumns cc(num_dims);
+  ASSERT_TRUE(reopened->ScanRangeColumns(0, rows.size(), &cc).ok());
+  EXPECT_TRUE(cc == rows);
+}
+
+// --------------------------- End-to-end ablation ----------------------------
+
+bool RowsEqual(const std::vector<ResultRow>& a,
+               const std::vector<ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].coords != b[i].coords || a[i].sum != b[i].sum ||
+        a[i].count != b[i].count || a[i].min_v != b[i].min_v ||
+        a[i].max_v != b[i].max_v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class CompressionTierFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 20000;
+
+  void SetUp() override {
+    auto s = schema::BuildPaperSchema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+    chunks::ChunkingOptions copts;
+    copts.range_fraction = 0.2;
+    auto scheme = chunks::ChunkingScheme::Build(schema_.get(), copts, kTuples);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ =
+        std::make_unique<chunks::ChunkingScheme>(std::move(scheme).value());
+    schema::FactGenOptions gen;
+    gen.num_tuples = kTuples;
+    gen.seed = 41;
+    tuples_ = schema::GenerateFactTuples(*schema_, gen);
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 4096);
+    auto file =
+        backend::ChunkedFile::BulkLoad(pool_.get(), scheme_.get(), tuples_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::make_unique<backend::ChunkedFile>(std::move(file).value());
+    engine_ = std::make_unique<backend::BackendEngine>(pool_.get(),
+                                                       file_.get(),
+                                                       scheme_.get());
+    ASSERT_TRUE(engine_->BuildBitmapIndexes().ok());
+  }
+
+  storage::InMemoryDiskManager disk_;
+  std::unique_ptr<schema::StarSchema> schema_;
+  std::unique_ptr<chunks::ChunkingScheme> scheme_;
+  std::vector<Tuple> tuples_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<backend::ChunkedFile> file_;
+  std::unique_ptr<backend::BackendEngine> engine_;
+};
+
+TEST_F(CompressionTierFixture, OnEqualsOffBitIdentical) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 19;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  ChunkManagerOptions on_opts;
+  on_opts.enable_compression = true;
+  ChunkManagerOptions off_opts;
+  off_opts.enable_compression = false;
+  ChunkCacheManager on_mgr(engine_.get(), on_opts);
+  ChunkCacheManager off_mgr(engine_.get(), off_opts);
+
+  for (int i = 0; i < 40; ++i) {
+    const StarJoinQuery q = gen.Next();
+    QueryStats on_st, off_st;
+    auto on_rows = on_mgr.Execute(q, &on_st);
+    auto off_rows = off_mgr.Execute(q, &off_st);
+    ASSERT_TRUE(on_rows.ok());
+    ASSERT_TRUE(off_rows.ok());
+    EXPECT_TRUE(RowsEqual(*on_rows, *off_rows)) << "query " << i;
+    EXPECT_EQ(on_st.chunks_needed, off_st.chunks_needed);
+    EXPECT_EQ(on_st.chunks_from_cache, off_st.chunks_from_cache);
+    EXPECT_EQ(on_st.chunks_from_backend, off_st.chunks_from_backend);
+  }
+  const auto on_stats = on_mgr.StatsSnapshot();
+  const auto off_stats = off_mgr.StatsSnapshot();
+  EXPECT_GT(on_stats.compressed_chunks, 0u);
+  EXPECT_GT(on_stats.codec_raw_bytes, on_stats.codec_encoded_bytes);
+  EXPECT_EQ(off_stats.compressed_chunks, 0u);
+  EXPECT_EQ(off_stats.decode_calls, 0u);
+  // Same chunk population, charged at encoded bytes: the compressed tier
+  // must sit well under the raw tier's footprint.
+  ASSERT_EQ(on_mgr.chunk_cache().num_chunks(),
+            off_mgr.chunk_cache().num_chunks());
+  EXPECT_LT(on_mgr.chunk_cache().bytes_used(),
+            off_mgr.chunk_cache().bytes_used());
+}
+
+TEST_F(CompressionTierFixture, DecodedFrontServesRepeatHits) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 29;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  ChunkManagerOptions opts;
+  opts.enable_compression = true;
+  ChunkCacheManager mgr(engine_.get(), opts);
+  const StarJoinQuery q = gen.Next();
+  QueryStats st;
+  ASSERT_TRUE(mgr.Execute(q, &st).ok());
+  const auto first = mgr.StatsSnapshot();
+  // Re-running the same query hits compressed entries; the decoded front
+  // (seeded at encode time) serves them without fresh decode work.
+  ASSERT_TRUE(mgr.Execute(q, &st).ok());
+  EXPECT_EQ(st.full_cache_hit, true);
+  const auto second = mgr.StatsSnapshot();
+  EXPECT_GT(second.decoded_lru_hits, first.decoded_lru_hits);
+}
+
+TEST_F(CompressionTierFixture, TinyDecodedFrontFallsBackToDecode) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 37;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  ChunkManagerOptions opts;
+  opts.enable_compression = true;
+  opts.decoded_cache_bytes = 0;  // no front: every compressed hit decodes
+  ChunkCacheManager mgr(engine_.get(), opts);
+  const StarJoinQuery q = gen.Next();
+  QueryStats st;
+  ASSERT_TRUE(mgr.Execute(q, &st).ok());
+  ASSERT_TRUE(mgr.Execute(q, &st).ok());
+  const auto stats = mgr.StatsSnapshot();
+  if (stats.compressed_chunks > 0) {
+    EXPECT_GT(stats.decode_calls, 0u);
+    EXPECT_EQ(stats.decoded_lru_hits, 0u);
+  }
+}
+
+TEST_F(CompressionTierFixture, CompressedEngineFilesAnswerIdentically) {
+  // The whole backend over compressed base pages: same queries, same rows.
+  auto cfile = backend::ChunkedFile::BulkLoad(pool_.get(), scheme_.get(),
+                                              tuples_, /*compressed=*/true);
+  ASSERT_TRUE(cfile.ok());
+  backend::ChunkedFile compressed_file = std::move(cfile).value();
+  backend::BackendEngine cengine(pool_.get(), &compressed_file, scheme_.get());
+  ASSERT_TRUE(cengine.BuildBitmapIndexes().ok());
+
+  workload::WorkloadOptions wopts;
+  wopts.seed = 43;
+  workload::QueryGenerator gen(schema_.get(), wopts);
+  ChunkCacheManager raw_mgr(engine_.get(), ChunkManagerOptions{});
+  ChunkCacheManager comp_mgr(&cengine, ChunkManagerOptions{});
+  for (int i = 0; i < 12; ++i) {
+    const StarJoinQuery q = gen.Next();
+    QueryStats sa, sb;
+    auto ra = raw_mgr.Execute(q, &sa);
+    auto rb = comp_mgr.Execute(q, &sb);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_TRUE(RowsEqual(*ra, *rb)) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace chunkcache

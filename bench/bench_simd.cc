@@ -1,0 +1,558 @@
+// SIMD hot-path benchmark: what does AVX2 dispatch buy over the scalar
+// kernels, on the same machine, with everything else held fixed?
+//
+// Four experiments, each timed once with dispatch pinned to scalar and
+// once pinned to AVX2 via simd::ScopedLevel:
+//   1. Dense-grid fold throughput (rows/s) on the paper's 4-d schema at
+//      the base group-by — the AddBaseColumns hot loop.
+//   2. Codec decode throughput (GB/s of raw payload) on a representative
+//      sorted chunk blob — dict unpack, delta/dod prefix sums, XOR-double
+//      reconstruction all fire.
+//   3. Bitmap word kernels (GB/s): And, Or, CountSet over multi-megabit
+//      bitmaps.
+//   4. End-to-end Table-1 session mix with chunk compression ON: average
+//      per-query wall time across a query stream, scalar vs AVX2, with a
+//      result-hash check that both levels answer bit-identically.
+//
+// Results go to stdout as tables AND to BENCH_simd.json (machine
+// readable; CI validates its schema). Honors CHUNKCACHE_BENCH_SCALE via
+// ExperimentConfig::FromEnv like the other benches.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "backend/aggregator.h"
+#include "backend/star_join_query.h"
+#include "bench/common/experiment.h"
+#include "chunks/chunking_scheme.h"
+#include "common/simd.h"
+#include "core/chunk_cache_manager.h"
+#include "index/bitmap.h"
+#include "schema/synthetic.h"
+#include "storage/codec.h"
+#include "workload/query_generator.h"
+
+namespace chunkcache::bench {
+namespace {
+
+using backend::ChunkAggregator;
+using backend::ResultRow;
+using backend::StarJoinQuery;
+using chunks::ChunkCoords;
+using chunks::ChunkingOptions;
+using chunks::ChunkingScheme;
+using chunks::GroupBySpec;
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using core::QueryStats;
+using index::Bitmap;
+using storage::AggColumns;
+using storage::Tuple;
+using storage::TupleColumns;
+
+namespace codec = storage::codec;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One scalar-vs-AVX2 measurement pair plus the derived speedup.
+struct Pair {
+  double scalar = 0;
+  double avx2 = 0;
+  double speedup() const { return scalar > 0 ? avx2 / scalar : 0; }
+};
+
+// ------------------------------- dense fold ---------------------------------
+
+struct FoldBench {
+  Pair rows_per_sec;
+  uint64_t rows_folded = 0;
+  uint64_t result_hash_scalar = 0;
+  uint64_t result_hash_avx2 = 0;
+};
+
+uint64_t HashCols(const AggColumns& cols, uint64_t acc) {
+  auto mix = [&acc](const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) acc = (acc ^ b[i]) * 0x100000001b3ULL;
+  };
+  for (uint32_t d = 0; d < cols.num_dims(); ++d) {
+    mix(cols.coords(d).data(), cols.coords(d).size() * 4);
+  }
+  mix(cols.sums().data(), cols.size() * 8);
+  mix(cols.counts().data(), cols.size() * 8);
+  mix(cols.mins().data(), cols.size() * 8);
+  mix(cols.maxs().data(), cols.size() * 8);
+  return acc;
+}
+
+/// Routes `tuples` to their chunks at `target`, keeps the `max_chunks`
+/// most populated chunks, and lengthens each kept batch to at least
+/// `min_rows_per_chunk` rows by cycling its own tuples. The replication
+/// keeps the timed region dominated by the fold kernel instead of
+/// per-chunk setup while preserving the chunk's real cell box and key
+/// distribution; the identity hash is computed from single (unreplicated)
+/// folds either way.
+FoldBench RunFoldBench(const schema::StarSchema& schema,
+                       const ChunkingScheme& scheme,
+                       const std::vector<Tuple>& tuples,
+                       const GroupBySpec& target, int reps,
+                       size_t min_rows_per_chunk, size_t max_chunks) {
+  std::map<uint64_t, TupleColumns> routed;
+  for (const Tuple& t : tuples) {
+    ChunkCoords coords{};
+    for (uint32_t d = 0; d < target.num_dims; ++d) {
+      const auto& h = schema.dimension(d).hierarchy;
+      coords[d] = h.AncestorAt(h.depth(), t.keys[d], target.levels[d]);
+    }
+    TupleColumns& batch = routed[scheme.ChunkOfCell(target, coords)];
+    batch.num_dims = target.num_dims;
+    batch.PushTuple(t);
+  }
+  std::vector<std::pair<uint64_t, TupleColumns>> batches;
+  for (auto& [chunk_num, batch] : routed) {
+    batches.emplace_back(chunk_num, std::move(batch));
+  }
+  std::sort(batches.begin(), batches.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.size() > b.second.size();
+            });
+  if (batches.size() > max_chunks) batches.resize(max_chunks);
+  for (auto& [chunk_num, batch] : batches) {
+    const size_t orig = batch.size();
+    if (orig == 0) continue;
+    while (batch.size() < min_rows_per_chunk) {
+      const size_t take = std::min(orig, min_rows_per_chunk - batch.size());
+      for (uint32_t d = 0; d < batch.num_dims; ++d) {
+        batch.keys[d].insert(batch.keys[d].end(), batch.keys[d].begin(),
+                             batch.keys[d].begin() + take);
+      }
+      batch.measure.insert(batch.measure.end(), batch.measure.begin(),
+                           batch.measure.begin() + take);
+    }
+  }
+
+  FoldBench out;
+  // Times ONLY the AddBaseColumns fold loop — aggregator construction
+  // (zeroing the dense cell box) and result extraction are identical at
+  // both dispatch levels and would otherwise swamp the kernel. Each
+  // chunk's batch is folded exactly once per pass, matching how query
+  // execution folds each chunk run: against cells the fold itself has
+  // not yet pulled into cache.
+  auto fold_pass = [&]() {
+    uint64_t rows = 0;
+    double ms = 0;
+    for (const auto& [chunk_num, batch] : batches) {
+      ChunkAggregator agg(&scheme, target, chunk_num, ~0ull);
+      const double t0 = NowMs();
+      agg.AddBaseColumns(batch, nullptr, nullptr);
+      ms += NowMs() - t0;
+      rows += agg.rows_consumed();
+    }
+    out.rows_folded = rows;
+    return ms;
+  };
+  // A separate untimed single-fold pass produces the identity hash.
+  auto hash_pass = [&]() {
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const auto& [chunk_num, batch] : batches) {
+      ChunkAggregator agg(&scheme, target, chunk_num, ~0ull);
+      agg.AddBaseColumns(batch, nullptr, nullptr);
+      hash = HashCols(agg.TakeColumns(), hash);
+    }
+    return hash;
+  };
+  auto timed_at = [&](simd::IsaLevel level) {
+    simd::ScopedLevel pin(level);
+    return fold_pass();
+  };
+  {
+    simd::ScopedLevel pin(simd::IsaLevel::kScalar);
+    out.result_hash_scalar = hash_pass();  // doubles as warmup
+  }
+  {
+    simd::ScopedLevel pin(simd::IsaLevel::kAvx2);
+    out.result_hash_avx2 = hash_pass();
+  }
+  // The two levels are timed back to back inside each rep so slow
+  // frequency drift (shared VMs) cancels out of the ratio instead of
+  // biasing whichever level ran later.
+  double best_scalar_ms = 0, best_avx2_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double s = timed_at(simd::IsaLevel::kScalar);
+    const double v = timed_at(simd::IsaLevel::kAvx2);
+    if (r == 0 || s < best_scalar_ms) best_scalar_ms = s;
+    if (r == 0 || v < best_avx2_ms) best_avx2_ms = v;
+  }
+  out.rows_per_sec.scalar =
+      1000.0 * static_cast<double>(out.rows_folded) / best_scalar_ms;
+  out.rows_per_sec.avx2 =
+      1000.0 * static_cast<double>(out.rows_folded) / best_avx2_ms;
+  return out;
+}
+
+// ------------------------------- codec decode -------------------------------
+
+struct CodecBench {
+  Pair decode_gbps;
+  double ratio = 0;  ///< encoded / raw payload bytes
+};
+
+CodecBench RunCodecBench() {
+  // Representative sorted chunk payload (same shape bench_compression
+  // uses): low-cardinality coordinates -> dict + delta columns, counts ->
+  // delta, measures -> XOR doubles.
+  std::mt19937 rng(7);
+  AggColumns cols(4);
+  const size_t rows = 200000;
+  cols.Reserve(rows);
+  std::array<uint32_t, storage::kMaxDims> c{};
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t d = 0; d < 4; ++d) c[d] = rng() % 40;
+    const double sum = static_cast<double>(rng() % 1000000) / 16.0;
+    cols.PushCell(c.data(), sum, 1 + rng() % 6, sum - 2, sum + 2);
+  }
+  cols.SortRowMajor();
+  const double raw_gb =
+      static_cast<double>(codec::RawPayloadBytes(cols)) / 1e9;
+
+  std::vector<uint8_t> blob;
+  codec::EncodeAggColumns(cols, &blob);
+
+  CodecBench out;
+  out.ratio = static_cast<double>(blob.size()) /
+              static_cast<double>(codec::RawPayloadBytes(cols));
+  const int reps = 7;
+  auto decode_once = [&](simd::IsaLevel level) {
+    simd::ScopedLevel pin(level);
+    const double t0 = NowMs();
+    auto back = codec::DecodeAggColumns(blob.data(), blob.size(),
+                                        codec::DecodeMode::kFast);
+    const double ms = NowMs() - t0;
+    if (!back.ok() || back->size() != rows) std::abort();
+    return ms;
+  };
+  // Levels alternate inside each rep (scalar, then AVX2) so slow
+  // frequency drift cancels out of the ratio — timing one level's reps
+  // in a block and then the other's lets a multi-second drift bias
+  // whichever ran later.
+  decode_once(simd::IsaLevel::kScalar);  // warmup
+  decode_once(simd::IsaLevel::kAvx2);
+  double best_scalar_ms = 0, best_avx2_ms = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double s = decode_once(simd::IsaLevel::kScalar);
+    const double v = decode_once(simd::IsaLevel::kAvx2);
+    if (r == 0 || s < best_scalar_ms) best_scalar_ms = s;
+    if (r == 0 || v < best_avx2_ms) best_avx2_ms = v;
+  }
+  out.decode_gbps.scalar = raw_gb / (best_scalar_ms / 1e3);
+  out.decode_gbps.avx2 = raw_gb / (best_avx2_ms / 1e3);
+  return out;
+}
+
+// ------------------------------ bitmap kernels ------------------------------
+
+struct BitmapBench {
+  Pair and_gbps;
+  Pair or_gbps;
+  Pair count_gbps;
+};
+
+BitmapBench RunBitmapBench() {
+  const uint64_t bits = 4u << 20;  // 4 Mbit = 512 KiB per bitmap
+  std::mt19937_64 rng(11);
+  Bitmap a(bits), b(bits);
+  for (uint64_t i = 0; i < bits; ++i) {
+    if ((rng() & 3) == 0) a.Set(i);
+    if ((rng() & 3) == 0) b.Set(i);
+  }
+  const double gb = static_cast<double>(bits / 8) / 1e9;
+  const int reps = 200;
+
+  uint64_t sink = 0;
+  // Levels alternate in small timed groups so frequency drift cancels
+  // out of the ratio (same scheme as the fold and codec benches).
+  const int kGroup = 10;
+  auto bench_op = [&](auto op) {
+    auto group_ms = [&](simd::IsaLevel level) {
+      simd::ScopedLevel pin(level);
+      const double t0 = NowMs();
+      for (int k = 0; k < kGroup; ++k) op();
+      return NowMs() - t0;
+    };
+    group_ms(simd::IsaLevel::kScalar);  // warmup
+    group_ms(simd::IsaLevel::kAvx2);
+    double best_scalar_ms = 0, best_avx2_ms = 0;
+    for (int r = 0; r < reps / kGroup; ++r) {
+      const double s = group_ms(simd::IsaLevel::kScalar);
+      const double v = group_ms(simd::IsaLevel::kAvx2);
+      if (r == 0 || s < best_scalar_ms) best_scalar_ms = s;
+      if (r == 0 || v < best_avx2_ms) best_avx2_ms = v;
+    }
+    Pair p;
+    p.scalar = kGroup * gb / (best_scalar_ms / 1e3);
+    p.avx2 = kGroup * gb / (best_avx2_ms / 1e3);
+    return p;
+  };
+
+  BitmapBench out;
+  Bitmap scratch = a;
+  out.and_gbps = bench_op([&] {
+    scratch = a;
+    scratch.And(b);
+    sink += scratch.num_bits();
+  });
+  out.or_gbps = bench_op([&] {
+    scratch = a;
+    scratch.Or(b);
+    sink += scratch.num_bits();
+  });
+  out.count_gbps = bench_op([&] { sink += a.CountSet(); });
+  if (sink == ~0ull) std::puts("sink");  // keep the ops alive
+  return out;
+}
+
+// ------------------------- end-to-end session mix ---------------------------
+
+struct StreamBench {
+  Pair avg_ms;  ///< lower is better; speedup() reported as scalar/avx2
+  uint64_t queries = 0;
+  bool identical = false;
+};
+
+uint64_t HashRows(const std::vector<ResultRow>& rows, uint64_t acc) {
+  auto mix = [&acc](uint64_t v) { acc = (acc ^ v) * 0x100000001b3ULL; };
+  for (const ResultRow& r : rows) {
+    for (uint32_t v : r.coords) mix(v);
+    uint64_t bits;
+    std::memcpy(&bits, &r.sum, 8);
+    mix(bits);
+    mix(r.count);
+    std::memcpy(&bits, &r.min_v, 8);
+    mix(bits);
+    std::memcpy(&bits, &r.max_v, 8);
+    mix(bits);
+  }
+  return acc;
+}
+
+Result<StreamBench> RunStreamBench(System* sys, uint64_t num_queries) {
+  StreamBench out;
+  out.queries = num_queries;
+  uint64_t hash_scalar = 0, hash_avx2 = 0;
+  auto run_level = [&](simd::IsaLevel level,
+                       uint64_t* hash_out) -> Result<double> {
+    simd::ScopedLevel pin(level);
+    CHUNKCACHE_RETURN_IF_ERROR(sys->ResetBackend());
+    ChunkManagerOptions opts;
+    opts.cache_bytes = 8u << 20;
+    opts.enable_compression = true;  // decode sits on the hit path
+    ChunkCacheManager mgr(&sys->engine(), opts);
+    workload::WorkloadOptions wopts;
+    wopts.seed = 1998;  // same Table-1 session mix at both levels
+    workload::QueryGenerator gen(&sys->schema(), wopts);
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    const double t0 = NowMs();
+    for (uint64_t i = 0; i < num_queries; ++i) {
+      const StarJoinQuery q = gen.Next();
+      QueryStats st;
+      CHUNKCACHE_ASSIGN_OR_RETURN(std::vector<ResultRow> rows,
+                                  mgr.Execute(q, &st));
+      hash = HashRows(rows, hash);
+    }
+    const double ms = NowMs() - t0;
+    *hash_out = hash;
+    return ms / static_cast<double>(num_queries);
+  };
+  // Levels alternate across whole-stream passes (best-of-two each) so
+  // frequency drift cancels out of the ratio, as in the kernel benches.
+  for (int r = 0; r < 2; ++r) {
+    CHUNKCACHE_ASSIGN_OR_RETURN(
+        const double s, run_level(simd::IsaLevel::kScalar, &hash_scalar));
+    CHUNKCACHE_ASSIGN_OR_RETURN(
+        const double v, run_level(simd::IsaLevel::kAvx2, &hash_avx2));
+    if (r == 0 || s < out.avg_ms.scalar) out.avg_ms.scalar = s;
+    if (r == 0 || v < out.avg_ms.avx2) out.avg_ms.avx2 = v;
+  }
+  out.identical = hash_scalar == hash_avx2;
+  return out;
+}
+
+// ----------------------------------- main -----------------------------------
+
+Status Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  const bool avx2 = simd::DetectedLevel() == simd::IsaLevel::kAvx2;
+  std::printf("=== SIMD dispatch: scalar vs AVX2 (detected=%s) ===\n",
+              simd::IsaLevelName(simd::DetectedLevel()));
+  if (!avx2) {
+    std::printf("note: no AVX2 on this host; both columns run scalar\n");
+  }
+
+  CHUNKCACHE_ASSIGN_OR_RETURN(schema::StarSchema schema,
+                              schema::BuildPaperSchema());
+  schema::FactGenOptions gen;
+  gen.num_tuples = config.num_tuples;
+  gen.seed = config.data_seed;
+  const std::vector<Tuple> tuples = schema::GenerateFactTuples(schema, gen);
+
+  // Two kernel regimes, each on the chunk geometry where that regime
+  // actually runs. "leaf" folds base rows at base granularity on the
+  // DEFAULT chunking scheme (every leaf-level offset table is affine, so
+  // the AVX2 kernel computes offsets with vector multiplies; cell boxes
+  // are L1/L2 resident as in production). "rollup" groups every dimension
+  // at an interior level on an rf=0.5 scheme whose larger boxes force the
+  // VPGATHERDD path through multi-entry rollup tables. Both replicate the
+  // surviving batches to >= 25k rows so the timed region is the kernel,
+  // not per-chunk aggregator setup (see RunFoldBench).
+  ChunkingOptions leaf_copts;  // default range_fraction
+  CHUNKCACHE_ASSIGN_OR_RETURN(
+      ChunkingScheme leaf_scheme,
+      ChunkingScheme::Build(&schema, leaf_copts, tuples.size()));
+  ChunkingOptions rollup_copts;
+  rollup_copts.range_fraction = 0.5;
+  CHUNKCACHE_ASSIGN_OR_RETURN(
+      ChunkingScheme rollup_scheme,
+      ChunkingScheme::Build(&schema, rollup_copts, tuples.size()));
+  const int reps = tuples.size() > 100000 ? 3 : 10;
+  const GroupBySpec fold_leaf_gb{{3, 2, 3, 2}, 4};
+  const GroupBySpec fold_rollup_gb{{2, 1, 2, 1}, 4};
+  const FoldBench fold = RunFoldBench(schema, leaf_scheme, tuples,
+                                      fold_leaf_gb, reps, 25000, 8);
+  const FoldBench rollup = RunFoldBench(schema, rollup_scheme, tuples,
+                                        fold_rollup_gb, reps, 25000, 8);
+  const bool fold_identical =
+      fold.result_hash_scalar == fold.result_hash_avx2 &&
+      rollup.result_hash_scalar == rollup.result_hash_avx2;
+  std::printf("\ndense fold, leaf group-by (%llu rows):\n",
+              (unsigned long long)fold.rows_folded);
+  std::printf("  scalar %14.0f rows/s\n  avx2   %14.0f rows/s\n"
+              "  speedup %12.2fx  identical=%s\n",
+              fold.rows_per_sec.scalar, fold.rows_per_sec.avx2,
+              fold.rows_per_sec.speedup(),
+              fold.result_hash_scalar == fold.result_hash_avx2 ? "yes" : "NO");
+  std::printf("dense fold, rollup group-by (%llu rows):\n",
+              (unsigned long long)rollup.rows_folded);
+  std::printf("  scalar %14.0f rows/s\n  avx2   %14.0f rows/s\n"
+              "  speedup %12.2fx  identical=%s\n",
+              rollup.rows_per_sec.scalar, rollup.rows_per_sec.avx2,
+              rollup.rows_per_sec.speedup(),
+              rollup.result_hash_scalar == rollup.result_hash_avx2 ? "yes"
+                                                                   : "NO");
+
+  const CodecBench cdc = RunCodecBench();
+  std::printf("\ncodec decode (fast, ratio %.3f):\n"
+              "  scalar %11.2f GB/s\n  avx2   %11.2f GB/s\n"
+              "  speedup %11.2fx\n",
+              cdc.ratio, cdc.decode_gbps.scalar, cdc.decode_gbps.avx2,
+              cdc.decode_gbps.speedup());
+
+  const BitmapBench bm = RunBitmapBench();
+  std::printf("\nbitmap word kernels (GB/s, scalar / avx2 / speedup):\n");
+  std::printf("  and   %8.2f %8.2f %6.2fx\n", bm.and_gbps.scalar,
+              bm.and_gbps.avx2, bm.and_gbps.speedup());
+  std::printf("  or    %8.2f %8.2f %6.2fx\n", bm.or_gbps.scalar,
+              bm.or_gbps.avx2, bm.or_gbps.speedup());
+  std::printf("  count %8.2f %8.2f %6.2fx\n", bm.count_gbps.scalar,
+              bm.count_gbps.avx2, bm.count_gbps.speedup());
+
+  ExperimentConfig e2e_config = config;
+  e2e_config.pool_frames = 512;  // backend scans must really decode pages
+  CHUNKCACHE_ASSIGN_OR_RETURN(std::unique_ptr<System> sys,
+                              System::Build(e2e_config));
+  const uint64_t num_queries = config.stream_queries;
+  CHUNKCACHE_ASSIGN_OR_RETURN(StreamBench stream,
+                              RunStreamBench(sys.get(), num_queries));
+  std::printf("\nend-to-end session mix, compression on (%llu queries):\n"
+              "  scalar %9.3f ms/query\n  avx2   %9.3f ms/query\n"
+              "  speedup %8.2fx  identical=%s\n",
+              (unsigned long long)stream.queries, stream.avg_ms.scalar,
+              stream.avg_ms.avx2,
+              stream.avg_ms.avx2 > 0
+                  ? stream.avg_ms.scalar / stream.avg_ms.avx2
+                  : 0,
+              stream.identical ? "yes" : "NO");
+
+  std::FILE* out = std::fopen("BENCH_simd.json", "w");
+  if (out == nullptr) return Status::IoError("cannot write BENCH_simd.json");
+  std::fprintf(out,
+               "{\n  \"bench\": \"simd\",\n  \"avx2_available\": %s,\n"
+               "  \"num_tuples\": %llu,\n",
+               avx2 ? "true" : "false",
+               static_cast<unsigned long long>(tuples.size()));
+  std::fprintf(out,
+               "  \"dense_fold\": {\"rows_folded\": %llu, "
+               "\"scalar_rows_per_sec\": %.0f, \"avx2_rows_per_sec\": %.0f, "
+               "\"speedup\": %.3f, \"identical\": %s},\n",
+               static_cast<unsigned long long>(fold.rows_folded),
+               fold.rows_per_sec.scalar, fold.rows_per_sec.avx2,
+               fold.rows_per_sec.speedup(), fold_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"dense_fold_rollup\": {\"rows_folded\": %llu, "
+               "\"scalar_rows_per_sec\": %.0f, \"avx2_rows_per_sec\": %.0f, "
+               "\"speedup\": %.3f, \"identical\": %s},\n",
+               static_cast<unsigned long long>(rollup.rows_folded),
+               rollup.rows_per_sec.scalar, rollup.rows_per_sec.avx2,
+               rollup.rows_per_sec.speedup(),
+               rollup.result_hash_scalar == rollup.result_hash_avx2
+                   ? "true"
+                   : "false");
+  std::fprintf(out,
+               "  \"codec_decode\": {\"scalar_gbps\": %.3f, "
+               "\"avx2_gbps\": %.3f, \"speedup\": %.3f, \"ratio\": %.3f},\n",
+               cdc.decode_gbps.scalar, cdc.decode_gbps.avx2,
+               cdc.decode_gbps.speedup(), cdc.ratio);
+  std::fprintf(out, "  \"bitmap\": [\n");
+  const struct {
+    const char* op;
+    const Pair* p;
+  } ops[] = {{"and", &bm.and_gbps}, {"or", &bm.or_gbps},
+             {"count_set", &bm.count_gbps}};
+  for (size_t i = 0; i < 3; ++i) {
+    std::fprintf(out,
+                 "    {\"op\": \"%s\", \"scalar_gbps\": %.3f, "
+                 "\"avx2_gbps\": %.3f, \"speedup\": %.3f}%s\n",
+                 ops[i].op, ops[i].p->scalar, ops[i].p->avx2,
+                 ops[i].p->speedup(), i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"end_to_end\": {\"queries\": %llu, "
+               "\"scalar_avg_ms\": %.4f, \"avx2_avg_ms\": %.4f, "
+               "\"speedup\": %.3f, \"identical\": %s}\n}\n",
+               static_cast<unsigned long long>(stream.queries),
+               stream.avg_ms.scalar, stream.avg_ms.avx2,
+               stream.avg_ms.avx2 > 0
+                   ? stream.avg_ms.scalar / stream.avg_ms.avx2
+                   : 0,
+               stream.identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_simd.json\n");
+
+  if (!fold_identical || !stream.identical) {
+    return Status::Internal("scalar and AVX2 results diverged");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace chunkcache::bench
+
+int main() {
+  const chunkcache::Status s = chunkcache::bench::Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_simd failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}

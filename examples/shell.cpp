@@ -15,6 +15,7 @@
 
 #include "backend/chunked_file.h"
 #include "backend/engine.h"
+#include "common/simd.h"
 #include "core/chunk_cache_manager.h"
 #include "core/multi_range.h"
 #include "schema/synthetic.h"
@@ -162,6 +163,11 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.exec_queue_peak,
                   (unsigned long long)cs.exec_steal_queue_depth,
                   (unsigned long long)cs.async_prefetched_chunks);
+      std::printf("simd: level=%s detected=%s override=%s\n",
+                  simd::IsaLevelName(
+                      static_cast<simd::IsaLevel>(cs.simd_level)),
+                  simd::IsaLevelName(simd::DetectedLevel()),
+                  simd::OverrideName());
       std::printf("kernels: dense=%llu hash=%llu rows folded dense=%llu "
                   "hash=%llu\n",
                   (unsigned long long)cs.dense_kernels,

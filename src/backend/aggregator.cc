@@ -4,6 +4,11 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/simd.h"
+
+#if CHUNKCACHE_SIMD_X86_64
+#include <immintrin.h>
+#endif
 
 namespace chunkcache::backend {
 
@@ -193,8 +198,196 @@ void DenseChunkAggregator::BuildBaseLut() {
       }
     }
   }
+#if CHUNKCACHE_SIMD_X86_64
+  // 32-bit LUT copies for the 8-wide gather kernel. Every contribution
+  // is < num_cells_, so the narrowing is exact whenever the box fits.
+  if (num_cells_ <= std::numeric_limits<uint32_t>::max()) {
+    for (uint32_t d = 0; d < target_.num_dims; ++d) {
+      base_lut32_[d].assign(base_lut_[d].begin(), base_lut_[d].end());
+      // Affine detection: dimensions grouped at their leaf level map each
+      // base key to its own cell (lut[rel] == rel * mult), and ALL-level
+      // dimensions map every key to cell 0 — in both cases the table is
+      // affine in the relative key and the AVX2 kernel can use a vector
+      // multiply instead of a (slow) gather. Detected empirically so any
+      // hierarchy whose table happens to be affine benefits.
+      const std::vector<uint64_t>& lut = base_lut_[d];
+      const uint64_t slope = lut.size() > 1 ? lut[1] - lut[0] : 0;
+      bool affine = true;
+      for (size_t rel = 0; rel < lut.size(); ++rel) {
+        if (lut[rel] != lut[0] + rel * slope) {
+          affine = false;
+          break;
+        }
+      }
+      lut_affine_[d] = affine;
+      lut_slope32_[d] = static_cast<uint32_t>(slope);
+      lut_icept32_[d] = static_cast<uint32_t>(lut[0]);
+    }
+  }
+#endif
   lut_built_ = true;
 }
+
+void DenseChunkAggregator::FoldOffsetsU32(const uint32_t* offs,
+                                          const double* measures, size_t n) {
+#if CHUNKCACHE_SIMD_X86_64
+  // The fold update as two 16-byte halves — [sum, count-bits] and
+  // [min, max] — which halves the loads and stores per cell relative to
+  // four scalar read-modify-writes. Plain SSE2, part of the x86-64
+  // baseline: this is NOT dispatched code, it is the one fold both
+  // dispatch levels run.
+  //
+  // Bit-exactness against the scalar FoldMeasureAt:
+  //  - [sum, count]: ADDSD computes `c.sum + measure` with the cell sum
+  //    as its first operand (the operand the IEEE add's NaN result
+  //    propagates from, matching `c.sum += measure`), and the 64-bit
+  //    integer add of [0, 1] touches only the count lane (+0 on the sum
+  //    lane's bits is an integer no-op);
+  //  - [min, max]: MINPD returns its *second* operand when either input
+  //    is NaN or both are (signed) zeros, so lane 0's min(measure,
+  //    c.min) equals the ternary `measure < c.min ? measure : c.min`
+  //    for every input. Lane 1 computes max through min: max(a, b) ==
+  //    -min(-a, -b) is exact under IEEE sign-bit flips, and the NaN /
+  //    equal-zeros case again returns the flipped second operand, i.e.
+  //    c.max — exactly `measure > c.max ? measure : c.max`.
+  Cell* cells = cells_.data();
+  const __m128d kFlipHi =
+      _mm_castsi128_pd(_mm_set_epi64x(0x8000000000000000LL, 0));
+  for (size_t j = 0; j < n; ++j) {
+    CHUNKCACHE_DCHECK(offs[j] < num_cells_);
+    double* cell = &cells[offs[j]].sum;
+    const __m128d m = _mm_set_sd(measures[j]);    // [measure, 0]
+    const __m128d sc = _mm_loadu_pd(cell);        // [sum, count-bits]
+    const __m128i updated = _mm_add_epi64(
+        _mm_castpd_si128(_mm_add_sd(sc, m)), _mm_set_epi64x(1, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(cell), updated);
+    const __m128d mm = _mm_xor_pd(_mm_unpacklo_pd(m, m), kFlipHi);  // [m,-m]
+    const __m128d mnmx = _mm_xor_pd(_mm_loadu_pd(cell + 2), kFlipHi);
+    _mm_storeu_pd(cell + 2, _mm_xor_pd(_mm_min_pd(mm, mnmx), kFlipHi));
+  }
+#else
+  for (size_t j = 0; j < n; ++j) {
+    FoldMeasureAt(offs[j], measures[j]);
+  }
+#endif
+}
+
+#if CHUNKCACHE_SIMD_X86_64
+
+namespace {
+
+/// Pass 1 of the AVX2 fold kernel: computes the cell offsets for rows
+/// [base, base + bn) into `out` and prefetches each row's target cell
+/// (`cells` is the accumulator base, `cell_size` its stride). Affine
+/// dimensions (leaf-level or ALL-level group-bys) contribute via an
+/// 8-wide multiply — their per-row constant intercepts are pre-summed
+/// into `icept_sum`; the rest gather their 32-bit LUT entries with
+/// VPGATHERDD. The AllAffine specialization (the common leaf/base
+/// group-by case, where every table is affine) compiles the per-dim
+/// branch away entirely — the runtime `affine[d]` test, though
+/// perfectly predicted, costs measurably inside an 8-row loop this
+/// tight. A free function because lambdas do not inherit the enclosing
+/// function's target("avx2") attribute.
+template <uint32_t ND, bool AllAffine>
+__attribute__((target("avx2"))) void GatherOffsetsAvx2(
+    const uint32_t* const* keys, const uint32_t* const* luts,
+    const uint32_t* los, const bool* affine, const uint32_t* slopes,
+    uint32_t icept_sum, const char* cells, size_t cell_size, size_t base,
+    size_t bn, uint32_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= bn; i += 8) {
+    __m256i off = _mm256_set1_epi32(static_cast<int>(icept_sum));
+    for (uint32_t d = 0; d < ND; ++d) {
+      const __m256i k = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys[d] + base + i));
+      const __m256i rel =
+          _mm256_sub_epi32(k, _mm256_set1_epi32(static_cast<int>(los[d])));
+      const __m256i contrib =
+          (AllAffine || affine[d])
+              ? _mm256_mullo_epi32(
+                    rel, _mm256_set1_epi32(static_cast<int>(slopes[d])))
+              : _mm256_i32gather_epi32(
+                    reinterpret_cast<const int*>(luts[d]), rel, 4);
+      off = _mm256_add_epi32(off, contrib);
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out + i), off);
+    for (int r = 0; r < 8; ++r) {
+      _mm_prefetch(cells + out[i + r] * cell_size, _MM_HINT_T0);
+    }
+  }
+  for (; i < bn; ++i) {
+    uint32_t off = 0;
+    for (uint32_t d = 0; d < ND; ++d) {
+      off += luts[d][keys[d][base + i] - los[d]];
+    }
+    out[i] = off;
+    _mm_prefetch(cells + off * cell_size, _MM_HINT_T0);
+  }
+}
+
+}  // namespace
+
+template <uint32_t ND>
+__attribute__((target("avx2"))) void DenseChunkAggregator::FoldBaseRowsAvx2(
+    const uint32_t* const* keys, const uint32_t* const* luts,
+    const uint32_t* los, const double* measures, size_t n) {
+  // Blocked two-pass kernel. Per block, pass 1 computes every cell
+  // offset with 8-wide VPGATHERDD gathers over the 32-bit LUTs (the
+  // 64-bit gather variant covers only 4 rows per instruction and gather
+  // throughput — not the fold — is what bounds this kernel) and issues a
+  // prefetch for each target cell; pass 2 is the pure fold loop, freed
+  // of all LUT indexing and running against cells the prefetches have
+  // already pulled into L1. The block is sized so one block's cell lines
+  // (<= 256 lines = 16 KiB) fit comfortably in L1 — prefetching a whole
+  // multi-thousand-row batch up front would evict the early lines before
+  // the fold reads them. Splitting the passes also keeps the serial
+  // fold-dependency chain (rows hitting the same cell) from stalling the
+  // offset arithmetic, which has no such dependency.
+  //
+  // 32-bit offsets are exact: the dispatcher only routes here when
+  // num_cells_ fits in 32 bits, and each per-dimension contribution as
+  // well as the final mixed-radix sum is < num_cells_.
+  //
+  // The two passes are software-pipelined one block apart: pass 1 of
+  // block k+1 (gathers + prefetches) runs before pass 2 of block k, so
+  // every prefetch gets a full block's worth of fold work (~256 rows)
+  // to complete before its line is touched. Prefetching and folding the
+  // same block back to back would leave the last rows' prefetches no
+  // time to land.
+  constexpr size_t kBlock = 256;
+  alignas(32) uint32_t offs[2][kBlock];
+  const char* cells = reinterpret_cast<const char*>(cells_.data());
+  uint32_t icept_sum = 0;
+  bool all_affine = true;
+  for (uint32_t d = 0; d < ND; ++d) {
+    if (lut_affine_[d]) icept_sum += lut_icept32_[d];
+    all_affine = all_affine && lut_affine_[d];
+  }
+  auto* gather_offsets =
+      all_affine ? &GatherOffsetsAvx2<ND, true> : &GatherOffsetsAvx2<ND, false>;
+  const size_t num_blocks = (n + kBlock - 1) / kBlock;
+  size_t prev_bn = 0;
+  for (size_t k = 0; k < num_blocks; ++k) {
+    const size_t base = k * kBlock;
+    const size_t bn = n - base < kBlock ? n - base : kBlock;
+    gather_offsets(keys, luts, los, lut_affine_.data(), lut_slope32_.data(),
+                   icept_sum, cells, sizeof(Cell), base, bn, offs[k & 1]);
+    // Folds stay in row order, so repeated hits on one cell accumulate
+    // in the same sequence as the scalar kernel, and both kernels fold
+    // through the one out-of-line FoldOffsetsU32 — bit-identity is
+    // structural.
+    if (k > 0) {
+      FoldOffsetsU32(offs[(k - 1) & 1], measures + (k - 1) * kBlock, prev_bn);
+    }
+    prev_bn = bn;
+  }
+  if (num_blocks > 0) {
+    FoldOffsetsU32(offs[(num_blocks - 1) & 1],
+                   measures + (num_blocks - 1) * kBlock, prev_bn);
+  }
+}
+
+#endif  // CHUNKCACHE_SIMD_X86_64
 
 template <uint32_t ND>
 void DenseChunkAggregator::FoldBaseRowsUnrolled(const uint32_t* const* keys,
@@ -202,6 +395,25 @@ void DenseChunkAggregator::FoldBaseRowsUnrolled(const uint32_t* const* keys,
                                                 const uint32_t* los,
                                                 const double* measures,
                                                 size_t n) {
+  if (num_cells_ <= std::numeric_limits<uint32_t>::max()) {
+    // Same blocked two-pass shape as the AVX2 kernel, with scalar offset
+    // arithmetic in pass 1 and the shared out-of-line fold in pass 2, so
+    // both dispatch levels execute the very same fold machine code.
+    constexpr size_t kBlock = 256;
+    uint32_t offs[kBlock];
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t bn = n - base < kBlock ? n - base : kBlock;
+      for (size_t i = 0; i < bn; ++i) {
+        uint64_t off = 0;
+        for (uint32_t d = 0; d < ND; ++d) {
+          off += luts[d][keys[d][base + i] - los[d]];
+        }
+        offs[i] = static_cast<uint32_t>(off);
+      }
+      FoldOffsetsU32(offs, measures + base, bn);
+    }
+    return;
+  }
   for (size_t i = 0; i < n; ++i) {
     uint64_t off = 0;
     for (uint32_t d = 0; d < ND; ++d) {
@@ -231,6 +443,31 @@ void DenseChunkAggregator::AddBaseColumns(
       los[d] = lut_lo_[d];
     }
     const double* measures = batch.measure.data();
+#if CHUNKCACHE_SIMD_X86_64
+    // One dispatch per bulk call; nd > 4 and boxes past 32-bit offsets
+    // stay on the generic scalar loop.
+    if (simd::ActiveLevel() == simd::IsaLevel::kAvx2 && nd <= 4 &&
+        num_cells_ <= std::numeric_limits<uint32_t>::max()) {
+      const uint32_t* luts32[storage::kMaxDims];
+      for (uint32_t d = 0; d < nd; ++d) luts32[d] = base_lut32_[d].data();
+      switch (nd) {
+        case 1:
+          FoldBaseRowsAvx2<1>(keys, luts32, los, measures, n);
+          break;
+        case 2:
+          FoldBaseRowsAvx2<2>(keys, luts32, los, measures, n);
+          break;
+        case 3:
+          FoldBaseRowsAvx2<3>(keys, luts32, los, measures, n);
+          break;
+        case 4:
+          FoldBaseRowsAvx2<4>(keys, luts32, los, measures, n);
+          break;
+      }
+      rows_consumed_ += n;
+      return;
+    }
+#endif
     switch (nd) {
       case 1:
         FoldBaseRowsUnrolled<1>(keys, luts, los, measures, n);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "chunks/chunking_scheme.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "storage/agg_columns.h"
 #include "storage/tuple.h"
@@ -159,13 +160,45 @@ class DenseChunkAggregator {
   /// the row-at-a-time paths never pay for it.
   void BuildBaseLut();
 
+  /// Folds one block of rows whose cell offsets are already computed.
+  /// Deliberately noinline: this is the single machine-code copy of the
+  /// fold update that every bulk kernel (scalar and AVX2 dispatch alike)
+  /// runs, which is what makes "AVX2 == scalar bit for bit" structural.
+  /// If each kernel inlined FoldMeasureAt separately, the compiler could
+  /// commute `c.sum + measure` in one copy and not the other — a
+  /// bit-visible difference when both operands are NaNs with different
+  /// payloads (e.g. a +inf/-inf cell folding a quiet NaN measure), since
+  /// the IEEE add returns its *first* NaN operand.
+  __attribute__((noinline)) void FoldOffsetsU32(const uint32_t* offs,
+                                                const double* measures,
+                                                size_t n);
+
   /// Dimension-count-specialized unfiltered fold loop: with ND a compile
   /// time constant the offset computation fully unrolls and the lookup
-  /// table pointers stay in registers.
+  /// table pointers stay in registers. Boxes that fit 32-bit offsets run
+  /// the same blocked two-pass shape as the AVX2 kernel (pass 2 =
+  /// FoldOffsetsU32); larger boxes fold row-at-a-time with 64-bit
+  /// offsets (those never dispatch to AVX2, so identity is trivial).
   template <uint32_t ND>
   void FoldBaseRowsUnrolled(const uint32_t* const* keys,
                             const uint64_t* const* luts, const uint32_t* los,
                             const double* measures, size_t n);
+
+#if CHUNKCACHE_SIMD_X86_64
+  /// AVX2 twin of FoldBaseRowsUnrolled, used when simd::ActiveLevel() is
+  /// kAvx2 and the cell box fits 32-bit offsets: a blocked two-pass
+  /// kernel that gathers the per-dimension 32-bit LUT contributions
+  /// eight rows at a time (VPGATHERDD) and prefetches every target
+  /// cell, software-pipelined one block ahead of the fold pass so the
+  /// prefetches have time to land. The fold pass is the shared
+  /// FoldOffsetsU32, so results are bit-identical to scalar dispatch
+  /// (same per-row fold order, same fold machine code). Defined in
+  /// aggregator.cc so scalar translation units never see AVX2 code.
+  template <uint32_t ND>
+  __attribute__((target("avx2"))) void FoldBaseRowsAvx2(
+      const uint32_t* const* keys, const uint32_t* const* luts,
+      const uint32_t* los, const double* measures, size_t n);
+#endif
 
   const chunks::ChunkingScheme* scheme_;
   chunks::GroupBySpec target_;
@@ -177,6 +210,16 @@ class DenseChunkAggregator {
   std::vector<Cell> cells_;
   /// base_lut_[d][key - lut_lo_[d]] == offset contribution of dimension d.
   std::array<std::vector<uint64_t>, storage::kMaxDims> base_lut_;
+  /// 32-bit copy of base_lut_ for the 8-wide AVX2 gather kernel; only
+  /// filled when num_cells_ fits in 32 bits (every contribution then
+  /// does too).
+  std::array<std::vector<uint32_t>, storage::kMaxDims> base_lut32_;
+  /// Per-dimension affine-LUT summary (lut[rel] == icept + rel * slope),
+  /// true for leaf-level and ALL-level group-by dimensions: the AVX2
+  /// kernel replaces those dimensions' gathers with vector multiplies.
+  std::array<bool, storage::kMaxDims> lut_affine_{};
+  std::array<uint32_t, storage::kMaxDims> lut_slope32_{};
+  std::array<uint32_t, storage::kMaxDims> lut_icept32_{};
   std::array<uint32_t, storage::kMaxDims> lut_lo_{};
   bool lut_built_ = false;
 };

@@ -166,6 +166,10 @@ struct ChunkCacheStats {
   uint64_t decode_calls = 0;         ///< Hits that had to decode.
   uint64_t decoded_lru_hits = 0;     ///< Hits served by the decoded front.
   uint64_t decoded_lru_evictions = 0;
+
+  /// Active SIMD dispatch level (simd::IsaLevel: 0 = scalar, 1 = avx2),
+  /// filled by ChunkCacheManager::StatsSnapshot.
+  uint64_t simd_level = 0;
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from

@@ -29,7 +29,7 @@ struct Crc32cTables {
   }
 };
 
-uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t crc) {
+uint32_t Crc32cSoftwareImpl(const void* data, size_t n, uint32_t crc) {
   static const Crc32cTables tables;
   const auto* p = static_cast<const uint8_t*>(data);
   crc = ~crc;
@@ -56,17 +56,40 @@ __attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
                                                           size_t n,
                                                           uint32_t crc) {
   const auto* p = static_cast<const uint8_t*>(data);
-  uint64_t c = ~crc;
-  while (n >= 8) {
-    uint64_t word;
-    std::memcpy(&word, p, 8);
-    c = __builtin_ia32_crc32di(c, word);
-    p += 8;
-    n -= 8;
+  uint32_t c32 = ~crc;
+  if (n >= 8) {
+    // Align the head so the 8-byte loop runs on aligned loads; only worth
+    // doing when an 8-byte loop will actually run.
+    while ((reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+      c32 = __builtin_ia32_crc32qi(c32, *p++);
+      --n;
+    }
+    uint64_t c = c32;
+    while (n >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      c = __builtin_ia32_crc32di(c, word);
+      p += 8;
+      n -= 8;
+    }
+    c32 = static_cast<uint32_t>(c);
   }
-  uint32_t c32 = static_cast<uint32_t>(c);
-  while (n-- > 0) {
-    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  // Consume the tail in the widest steps available (4/2/1 bytes) instead
+  // of a byte-at-a-time loop.
+  if (n & 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c32 = __builtin_ia32_crc32si(c32, v);
+    p += 4;
+  }
+  if (n & 2) {
+    uint16_t v;
+    std::memcpy(&v, p, 2);
+    c32 = __builtin_ia32_crc32hi(c32, v);
+    p += 2;
+  }
+  if (n & 1) {
+    c32 = __builtin_ia32_crc32qi(c32, *p);
   }
   return ~c32;
 }
@@ -76,7 +99,7 @@ bool HaveSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
 #else
 
 uint32_t Crc32cHardware(const void* data, size_t n, uint32_t crc) {
-  return Crc32cSoftware(data, n, crc);
+  return Crc32cSoftwareImpl(data, n, crc);
 }
 bool HaveSse42() { return false; }
 
@@ -87,7 +110,11 @@ bool HaveSse42() { return false; }
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
   static const bool use_hw = HaveSse42();
   return use_hw ? Crc32cHardware(data, n, seed)
-                : Crc32cSoftware(data, n, seed);
+                : Crc32cSoftwareImpl(data, n, seed);
+}
+
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t seed) {
+  return Crc32cSoftwareImpl(data, n, seed);
 }
 
 }  // namespace chunkcache

@@ -15,6 +15,10 @@ namespace chunkcache {
 /// standard CRC-32C, so checksums are portable across machines.
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
 
+/// The slicing-by-8 table implementation, exposed as the reference the
+/// hardware path is tested against (all lengths x alignments must agree).
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t seed = 0);
+
 }  // namespace chunkcache
 
 #endif  // CHUNKCACHE_COMMON_CRC32C_H_

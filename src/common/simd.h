@@ -1,0 +1,101 @@
+#ifndef CHUNKCACHE_COMMON_SIMD_H_
+#define CHUNKCACHE_COMMON_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+/// Runtime SIMD dispatch.
+///
+/// Kernels come in pairs: the scalar variant is the exact pre-SIMD code
+/// path (the ablation baseline), the AVX2 variant must produce bit-identical
+/// results. Dispatch happens once per *bulk call*, never per element: hot
+/// paths either read a per-kernel function pointer (the word kernels below)
+/// or branch on ActiveLevel() at the top of a batched loop.
+///
+/// The active level is resolved once at startup from CPUID, clamped by the
+/// CHUNKCACHE_SIMD environment variable ("scalar" or "avx2") so tests and CI
+/// can force the fallback path on AVX2 hardware. Tests may flip the level
+/// in-process via ScopedLevel; production code never does.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CHUNKCACHE_SIMD_X86_64 1
+#else
+#define CHUNKCACHE_SIMD_X86_64 0
+#endif
+
+namespace chunkcache::simd {
+
+enum class IsaLevel : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2".
+const char* IsaLevelName(IsaLevel level);
+
+/// Best level this CPU supports (CPUID, memoized; ignores the override).
+IsaLevel DetectedLevel();
+
+/// The CHUNKCACHE_SIMD override as seen at startup, or "none".
+const char* OverrideName();
+
+/// Level kernels currently dispatch to: min(DetectedLevel, override),
+/// unless a test re-pinned it via SetActiveLevel/ScopedLevel.
+IsaLevel ActiveLevel();
+
+/// Re-pins the active level (clamped to DetectedLevel()) and rebinds the
+/// kernel table. For tests and benchmarks; not thread-safe against
+/// concurrently running kernels, so only call from quiesced code.
+void SetActiveLevel(IsaLevel level);
+
+/// RAII pin for tests/benchmarks: forces `level` for the scope's lifetime.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(IsaLevel level) : prev_(ActiveLevel()) {
+    SetActiveLevel(level);
+  }
+  ~ScopedLevel() { SetActiveLevel(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  IsaLevel prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Dispatched word kernels (bitmap hot paths). Function pointers are resolved
+// once at startup (and rebound by SetActiveLevel); callers pay one indirect
+// call per bulk operation.
+// ---------------------------------------------------------------------------
+
+using AndWordsFn = void (*)(uint64_t* dst, const uint64_t* src, size_t n);
+using OrWordsFn = void (*)(uint64_t* dst, const uint64_t* src, size_t n);
+using PopcountWordsFn = uint64_t (*)(const uint64_t* w, size_t n);
+
+struct WordKernels {
+  std::atomic<AndWordsFn> and_words;
+  std::atomic<OrWordsFn> or_words;
+  std::atomic<PopcountWordsFn> popcount_words;
+};
+
+/// The live kernel table (stable address; pointers swap on SetActiveLevel).
+WordKernels& Words();
+
+/// dst[i] &= src[i] for i < n.
+inline void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  Words().and_words.load(std::memory_order_relaxed)(dst, src, n);
+}
+
+/// dst[i] |= src[i] for i < n.
+inline void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  Words().or_words.load(std::memory_order_relaxed)(dst, src, n);
+}
+
+/// Total set bits across w[0..n).
+inline uint64_t PopcountWords(const uint64_t* w, size_t n) {
+  return Words().popcount_words.load(std::memory_order_relaxed)(w, n);
+}
+
+}  // namespace chunkcache::simd
+
+#endif  // CHUNKCACHE_COMMON_SIMD_H_

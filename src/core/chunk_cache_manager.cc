@@ -6,6 +6,7 @@
 #include "backend/aggregator.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace chunkcache::core {
 
@@ -137,6 +138,10 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   metrics_->GetGauge("disk.checksum_failures")
       ->Set(static_cast<int64_t>(
           engine_->pool().disk()->stats().checksum_failures));
+  // Active SIMD dispatch level (0 = scalar, 1 = avx2), so exported metrics
+  // record which kernel family produced this process's numbers.
+  metrics_->GetGauge("simd.level")
+      ->Set(static_cast<int64_t>(simd::ActiveLevel()));
 
   cache::ChunkCacheStats s = cache_.stats();  // registry-backed already
   const MetricsRegistry::Snapshot snap = metrics_->TakeSnapshot();
@@ -181,6 +186,7 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   s.decoded_lru_hits = snap.counter("cache.decoded_lru_hits");
   s.decoded_lru_evictions =
       static_cast<uint64_t>(snap.gauge("cache.decoded_lru_evictions"));
+  s.simd_level = static_cast<uint64_t>(snap.gauge("simd.level"));
   return s;
 }
 

@@ -1,12 +1,13 @@
 #ifndef CHUNKCACHE_INDEX_BITMAP_H_
 #define CHUNKCACHE_INDEX_BITMAP_H_
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace chunkcache::index {
 
@@ -43,13 +44,13 @@ class Bitmap {
   /// this &= other. Sizes must match.
   void And(const Bitmap& other) {
     CHUNKCACHE_DCHECK(num_bits_ == other.num_bits_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    simd::AndWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this |= other. Sizes must match.
   void Or(const Bitmap& other) {
     CHUNKCACHE_DCHECK(num_bits_ == other.num_bits_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    simd::OrWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this = ~this (respecting num_bits).
@@ -60,21 +61,27 @@ class Bitmap {
 
   /// Number of set bits.
   uint64_t CountSet() const {
-    uint64_t n = 0;
-    for (uint64_t w : words_) n += bit_util::PopCount(w);
-    return n;
+    return simd::PopcountWords(words_.data(), words_.size());
   }
 
-  /// Calls `fn(i)` for each set bit in ascending order.
-  void ForEachSet(const std::function<void(uint64_t)>& fn) const {
-    for (size_t wi = 0; wi < words_.size(); ++wi) {
-      uint64_t w = words_[wi];
-      while (w != 0) {
-        const int bit = std::countr_zero(w);
-        fn(static_cast<uint64_t>(wi) * 64 + bit);
-        w &= w - 1;
+  /// Calls `fn(i)` for each set bit in ascending order. Templated over the
+  /// callback so the call inlines (a std::function here allocated and
+  /// blocked inlining in the selection hot path); skips all-zero 4-word
+  /// blocks, the common case in sparse selection bitmaps.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    const uint64_t* w = words_.data();
+    const size_t nw = words_.size();
+    size_t wi = 0;
+    while (wi + 4 <= nw) {
+      if ((w[wi] | w[wi + 1] | w[wi + 2] | w[wi + 3]) == 0) {
+        wi += 4;
+        continue;
       }
+      for (size_t j = wi; j < wi + 4; ++j) ForEachInWord(w[j], j, fn);
+      wi += 4;
     }
+    for (; wi < nw; ++wi) ForEachInWord(w[wi], wi, fn);
   }
 
   /// Set bits as a sorted vector (row ids).
@@ -91,6 +98,15 @@ class Bitmap {
   size_t num_words() const { return words_.size(); }
 
  private:
+  template <typename Fn>
+  static void ForEachInWord(uint64_t word, size_t wi, Fn&& fn) {
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(static_cast<uint64_t>(wi) * 64 + bit);
+      word &= word - 1;
+    }
+  }
+
   void TrimTail() {
     const uint64_t tail = num_bits_ % 64;
     if (tail != 0 && !words_.empty()) {

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "backend/agg_file.h"
@@ -13,6 +18,7 @@
 #include "chunks/chunking_scheme.h"
 #include "common/cost_model.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "schema/star_schema.h"
 #include "schema/synthetic.h"
 #include "storage/agg_columns.h"
@@ -279,6 +285,214 @@ TEST(DenseHashProperty, AggInputsBitIdentical) {
     }
     EXPECT_TRUE(dense.TakeColumns() == hash.TakeColumns())
         << "chunk " << chunk_num;
+  }
+}
+
+// ---------------------- scalar == AVX2 dispatch property --------------------
+
+/// Bit-level column comparison: NaN != NaN under operator==, so the
+/// double columns are compared as raw bytes.
+void ExpectColsBitIdentical(const AggColumns& a, const AggColumns& b) {
+  ASSERT_EQ(a.num_dims(), b.num_dims());
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t d = 0; d < a.num_dims(); ++d) {
+    EXPECT_EQ(a.coords(d), b.coords(d));
+  }
+  EXPECT_EQ(a.counts(), b.counts());
+  const size_t n = a.size();
+  if (n == 0) return;
+  EXPECT_EQ(std::memcmp(a.sums().data(), b.sums().data(), n * 8), 0);
+  EXPECT_EQ(std::memcmp(a.mins().data(), b.mins().data(), n * 8), 0);
+  EXPECT_EQ(std::memcmp(a.maxs().data(), b.maxs().data(), n * 8), 0);
+}
+
+/// Measures drawn to stress FP edge semantics: NaN propagation through
+/// min/max, +/-inf sentinel interactions, denormals, signed zeros.
+double EdgeMeasure(Random* rng) {
+  switch (rng->Uniform(10)) {
+    case 0:
+      return std::numeric_limits<double>::quiet_NaN();
+    case 1:
+      return std::numeric_limits<double>::infinity();
+    case 2:
+      return -std::numeric_limits<double>::infinity();
+    case 3:
+      return std::numeric_limits<double>::denorm_min();
+    case 4:
+      return -std::numeric_limits<double>::denorm_min();
+    case 5:
+      return -0.0;
+    default:
+      return rng->NextDouble() * 2000.0 - 1000.0;
+  }
+}
+
+TEST(SimdDispatchProperty, DenseFoldBitIdenticalScalarVsAvx2) {
+  if (simd::DetectedLevel() != simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  Random rng(20260809);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t num_dims = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    std::vector<schema::Dimension> dims;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      std::vector<uint32_t> cards;
+      uint32_t card = 3 + static_cast<uint32_t>(rng.Uniform(5));
+      const uint32_t depth = 1 + static_cast<uint32_t>(rng.Uniform(2));
+      for (uint32_t l = 0; l < depth; ++l) {
+        cards.push_back(card);
+        card *= 2 + static_cast<uint32_t>(rng.Uniform(3));
+      }
+      auto dim = schema::BuildSyntheticDimension(
+          "S" + std::to_string(trial) + "_" + std::to_string(d), cards);
+      ASSERT_TRUE(dim.ok());
+      dims.push_back(std::move(dim).value());
+    }
+    schema::StarSchema schema("fact", std::move(dims), "m");
+    ChunkingOptions copts;
+    copts.range_fraction = 0.3;
+    auto scheme_or = ChunkingScheme::Build(&schema, copts, 3000);
+    ASSERT_TRUE(scheme_or.ok());
+    const ChunkingScheme scheme = std::move(scheme_or).value();
+
+    schema::FactGenOptions gen;
+    gen.num_tuples = 3000;
+    gen.seed = 555 + trial;
+    std::vector<Tuple> tuples = schema::GenerateFactTuples(schema, gen);
+    for (Tuple& t : tuples) t.measure = EdgeMeasure(&rng);
+
+    // Finest and coarsest-but-one group-bys give small and large LUTs.
+    std::vector<GroupBySpec> specs;
+    GroupBySpec finest{};
+    finest.num_dims = num_dims;
+    GroupBySpec coarse{};
+    coarse.num_dims = num_dims;
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      finest.levels[d] = schema.dimension(d).hierarchy.depth();
+      coarse.levels[d] = 1;
+    }
+    specs.push_back(finest);
+    if (!(coarse == finest)) specs.push_back(coarse);
+
+    for (const GroupBySpec& gb : specs) {
+      std::map<uint64_t, std::vector<Tuple>> per_chunk;
+      for (const Tuple& t : tuples) {
+        ChunkCoords coords{};
+        for (uint32_t d = 0; d < num_dims; ++d) {
+          const auto& h = schema.dimension(d).hierarchy;
+          coords[d] = h.AncestorAt(h.depth(), t.keys[d], gb.levels[d]);
+        }
+        per_chunk[scheme.ChunkOfCell(gb, coords)].push_back(t);
+      }
+      if (per_chunk.empty()) continue;
+      const uint64_t chunk_num = per_chunk.rbegin()->first;  // boundary chunk
+      const std::vector<Tuple>& chunk_tuples = per_chunk.at(chunk_num);
+
+      // Feed in odd-length sub-batches so the 4-wide kernel's tails and
+      // head/tail transitions all fire; also one empty batch.
+      const auto fold = [&](simd::IsaLevel level) {
+        simd::ScopedLevel pin(level);
+        ChunkAggregator agg(&scheme, gb, chunk_num, ~0ull, nullptr);
+        TupleColumns empty;
+        empty.num_dims = scheme.num_dims();
+        agg.AddBaseColumns(empty, nullptr, nullptr);  // empty batch is a no-op
+        size_t i = 0;
+        size_t step = 1;
+        while (i < chunk_tuples.size()) {
+          TupleColumns batch;
+          batch.num_dims = scheme.num_dims();
+          const size_t hi = std::min(chunk_tuples.size(), i + step);
+          for (; i < hi; ++i) batch.PushTuple(chunk_tuples[i]);
+          agg.AddBaseColumns(batch, nullptr, nullptr);
+          step = step * 2 + 1;  // 1, 3, 7, 15, ... odd lengths
+        }
+        return agg.TakeColumns();
+      };
+      const AggColumns scalar_cols = fold(simd::IsaLevel::kScalar);
+      const AggColumns avx2_cols = fold(simd::IsaLevel::kAvx2);
+      ExpectColsBitIdentical(scalar_cols, avx2_cols);
+    }
+  }
+}
+
+TEST(SimdDispatchProperty, EmptyCellBoxAndSingleRow) {
+  if (simd::DetectedLevel() != simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  auto s = schema::BuildPaperSchema();
+  ASSERT_TRUE(s.ok());
+  ChunkingOptions copts;
+  copts.range_fraction = 0.2;
+  auto scheme_or = ChunkingScheme::Build(&*s, copts, 1000);
+  ASSERT_TRUE(scheme_or.ok());
+  const ChunkingScheme& scheme = *scheme_or;
+  const GroupBySpec gb{{1, 1, 1, 1}, 4};
+
+  for (simd::IsaLevel level :
+       {simd::IsaLevel::kScalar, simd::IsaLevel::kAvx2}) {
+    simd::ScopedLevel pin(level);
+    // No rows folded: the box stays empty and extraction yields no cells.
+    ChunkAggregator agg(&scheme, gb, 0, ~0ull, nullptr);
+    EXPECT_EQ(agg.TakeColumns().size(), 0u);
+  }
+
+  // A single row (pure tail path) must also match across dispatch levels.
+  schema::FactGenOptions gen;
+  gen.num_tuples = 1;
+  gen.seed = 3;
+  const std::vector<Tuple> one = schema::GenerateFactTuples(*s, gen);
+  ChunkCoords coords{};
+  for (uint32_t d = 0; d < 4; ++d) {
+    const auto& h = s->dimension(d).hierarchy;
+    coords[d] = h.AncestorAt(h.depth(), one[0].keys[d], gb.levels[d]);
+  }
+  const uint64_t chunk_num = scheme.ChunkOfCell(gb, coords);
+  const auto fold = [&](simd::IsaLevel level) {
+    simd::ScopedLevel pin(level);
+    ChunkAggregator agg(&scheme, gb, chunk_num, ~0ull, nullptr);
+    TupleColumns batch;
+    batch.num_dims = scheme.num_dims();
+    batch.PushTuple(one[0]);
+    agg.AddBaseColumns(batch, nullptr, nullptr);
+    return agg.TakeColumns();
+  };
+  ExpectColsBitIdentical(fold(simd::IsaLevel::kScalar),
+                         fold(simd::IsaLevel::kAvx2));
+}
+
+TEST(SimdDispatchProperty, FilterToSelectionBitIdenticalScalarVsAvx2) {
+  if (simd::DetectedLevel() != simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  Random rng(77);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{100}, size_t{1000}}) {
+    const uint32_t nd = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    AggColumns cols(nd);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t coords[storage::kMaxDims] = {};
+      for (uint32_t d = 0; d < nd; ++d) {
+        coords[d] = static_cast<uint32_t>(rng.Uniform(50));
+      }
+      cols.PushCell(coords, EdgeMeasure(&rng), rng.Uniform(100),
+                    EdgeMeasure(&rng), EdgeMeasure(&rng));
+    }
+    std::array<OrdinalRange, storage::kMaxDims> sel{};
+    for (uint32_t d = 0; d < storage::kMaxDims; ++d) {
+      const uint32_t lo = static_cast<uint32_t>(rng.Uniform(40));
+      sel[d] = OrdinalRange{lo, lo + static_cast<uint32_t>(rng.Uniform(20))};
+    }
+    AggColumns scalar_cols = cols;
+    AggColumns avx2_cols = cols;
+    {
+      simd::ScopedLevel pin(simd::IsaLevel::kScalar);
+      scalar_cols.FilterToSelection(sel);
+    }
+    {
+      simd::ScopedLevel pin(simd::IsaLevel::kAvx2);
+      avx2_cols.FilterToSelection(sel);
+    }
+    ExpectColsBitIdentical(scalar_cols, avx2_cols);
   }
 }
 

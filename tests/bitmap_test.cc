@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "index/bitmap.h"
 #include "index/bitmap_index.h"
 #include "storage/buffer_pool.h"
@@ -106,6 +108,47 @@ struct IndexFixture {
     return file;
   }
 };
+
+TEST(BitmapTest, WordOpsBitIdenticalScalarVsAvx2) {
+  if (simd::DetectedLevel() != simd::IsaLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  Random rng(31337);
+  // Sizes straddle the 8-word AVX2 block and the 4-word skip window.
+  for (uint64_t bits : {1ull, 63ull, 64ull, 65ull, 255ull, 256ull, 257ull,
+                        511ull, 513ull, 4096ull, 4100ull}) {
+    Bitmap a(bits), b(bits);
+    for (uint64_t i = 0; i < bits; ++i) {
+      if (rng.Uniform(3) == 0) a.Set(i);
+      if (rng.Uniform(3) == 0) b.Set(i);
+    }
+    const auto run = [&](simd::IsaLevel level) {
+      simd::ScopedLevel pin(level);
+      Bitmap anded = a;
+      anded.And(b);
+      Bitmap ored = a;
+      ored.Or(b);
+      std::vector<uint64_t> visited;
+      anded.ForEachSet([&](uint64_t i) { visited.push_back(i); });
+      return std::tuple(anded.CountSet(), ored.CountSet(),
+                        std::move(visited), anded.ToVector(),
+                        ored.ToVector());
+    };
+    EXPECT_EQ(run(simd::IsaLevel::kScalar), run(simd::IsaLevel::kAvx2))
+        << "bits=" << bits;
+  }
+}
+
+TEST(BitmapTest, ForEachSetSkipsLongZeroRuns) {
+  // A sparse bitmap with multi-word gaps exercises the 4-word zero-skip
+  // fast path; positions must still come back in ascending order.
+  Bitmap b(64 * 40);
+  const std::vector<uint64_t> want = {0, 5, 64 * 17 + 3, 64 * 39 + 63};
+  for (uint64_t i : want) b.Set(i);
+  std::vector<uint64_t> got;
+  b.ForEachSet([&](uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
 
 TEST(BitmapIndexTest, SingleValueBitmapMatchesData) {
   IndexFixture f;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <set>
 #include <string>
@@ -8,9 +9,11 @@
 
 #include "common/bit_util.h"
 #include "common/cost_model.h"
+#include "common/crc32c.h"
 #include "common/inflight_table.h"
 #include "common/random.h"
 #include "common/retry.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -477,6 +480,105 @@ TEST(InflightWaitUntilTest, TimesOutThenStillReceivesAfterPublish) {
   auto inf = owner.slot->WaitUntil(Deadline::Infinite());
   ASSERT_TRUE(inf.ok());
   EXPECT_EQ(*inf, 11);
+}
+
+// -------------------------------- CRC32C ------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // "123456789" -> 0xE3069283 (the classic check value).
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32cSoftware(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, HardwareMatchesSoftwareAllLengthsAndOffsets) {
+  // The hardware path has three regimes (byte-at-a-time head alignment,
+  // the 8-byte loop, and 4/2/1-byte tail steps); lengths 0..32 at start
+  // offsets 0..8 cover every head/tail combination against the table
+  // implementation.
+  Random rng(7);
+  std::vector<uint8_t> buf(64);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (size_t off = 0; off <= 8; ++off) {
+    for (size_t len = 0; len <= 32; ++len) {
+      const uint32_t sw = Crc32cSoftware(buf.data() + off, len);
+      const uint32_t hw = Crc32c(buf.data() + off, len);
+      EXPECT_EQ(hw, sw) << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32cTest, SeedChainingMatchesOneShot) {
+  Random rng(11);
+  std::vector<uint8_t> buf(47);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Uniform(256));
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  for (size_t split = 0; split <= buf.size(); ++split) {
+    const uint32_t part = Crc32c(buf.data(), split);
+    const uint32_t chained =
+        Crc32c(buf.data() + split, buf.size() - split, part);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+    const uint32_t sw_part = Crc32cSoftware(buf.data(), split);
+    const uint32_t sw_chained =
+        Crc32cSoftware(buf.data() + split, buf.size() - split, sw_part);
+    EXPECT_EQ(sw_chained, whole) << "split=" << split;
+  }
+}
+
+// ------------------------------ SIMD dispatch -------------------------------
+
+TEST(SimdTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(simd::IsaLevelName(simd::IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::IsaLevelName(simd::IsaLevel::kAvx2), "avx2");
+}
+
+TEST(SimdTest, ActiveLevelNeverExceedsDetected) {
+  EXPECT_LE(simd::ActiveLevel(), simd::DetectedLevel());
+  // Requesting more than the CPU supports clamps to the detected level.
+  simd::ScopedLevel pin(simd::IsaLevel::kAvx2);
+  EXPECT_LE(simd::ActiveLevel(), simd::DetectedLevel());
+}
+
+TEST(SimdTest, ScopedLevelRestores) {
+  const simd::IsaLevel before = simd::ActiveLevel();
+  {
+    simd::ScopedLevel pin(simd::IsaLevel::kScalar);
+    EXPECT_EQ(simd::ActiveLevel(), simd::IsaLevel::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveLevel(), before);
+}
+
+TEST(SimdTest, WordKernelsMatchScalarAtEveryLength) {
+  Random rng(23);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                   size_t{8}, size_t{9}, size_t{31}, size_t{64},
+                   size_t{65}}) {
+    std::vector<uint64_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Next64();
+      b[i] = rng.Next64();
+    }
+    std::vector<uint64_t> and_ref = a, or_ref = a;
+    uint64_t pop_ref = 0;
+    for (size_t i = 0; i < n; ++i) {
+      and_ref[i] &= b[i];
+      or_ref[i] |= b[i];
+      pop_ref += static_cast<uint64_t>(std::popcount(a[i]));
+    }
+    for (simd::IsaLevel level :
+         {simd::IsaLevel::kScalar, simd::IsaLevel::kAvx2}) {
+      simd::ScopedLevel pin(level);
+      std::vector<uint64_t> and_got = a, or_got = a;
+      simd::AndWords(and_got.data(), b.data(), n);
+      simd::OrWords(or_got.data(), b.data(), n);
+      EXPECT_EQ(and_got, and_ref) << "n=" << n;
+      EXPECT_EQ(or_got, or_ref) << "n=" << n;
+      EXPECT_EQ(simd::PopcountWords(a.data(), n), pop_ref) << "n=" << n;
+    }
+  }
 }
 
 }  // namespace

@@ -1,14 +1,18 @@
 // Reproduces Figure 13: replacement policies for the chunk cache (EQPR
 // stream) — plain LRU (approximated by CLOCK, as in the paper) vs the
-// benefit-weighted CLOCK of Section 5.4, plus exact LRU for reference.
+// benefit-weighted CLOCK of Section 5.4, plus every other policy the
+// replacement lab knows (ARC, SLRU, 2Q, LFU-aging and its
+// benefit-weighted variant) for a modern baseline comparison.
 // Expected shape (paper): the benefit-aware policy clearly beats plain
 // LRU, because chunks at higher aggregation levels are much more expensive
 // to recompute and deserve preferential retention. The effect shows at
 // cache sizes that force real eviction pressure.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/common/experiment.h"
+#include "cache/replacement.h"
 #include "core/chunk_cache_manager.h"
 
 namespace chunkcache::bench {
@@ -26,7 +30,7 @@ int Run() {
 
   bool header = true;
   for (uint64_t mb : {2, 5, 10, 30}) {
-    for (const char* policy : {"lru", "clock", "benefit-clock"}) {
+    for (const std::string& policy : cache::KnownPolicyNames()) {
       if (!(*system)->ResetBackend().ok()) return 1;
       core::ChunkManagerOptions opts;
       opts.policy = policy;
@@ -39,7 +43,7 @@ int Run() {
           RunStream(&tier, &gen, config.stream_queries, config.cost_model);
       if (!result.ok()) return 1;
       char label[32];
-      std::snprintf(label, sizeof(label), "%s/%lluMB", policy,
+      std::snprintf(label, sizeof(label), "%s/%lluMB", policy.c_str(),
                     static_cast<unsigned long long>(mb));
       result->stream = label;
       PrintResult(*result, header);

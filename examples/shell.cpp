@@ -2,7 +2,8 @@
 // Type the paper's star-join template against the Table 1 schema and watch
 // the chunk cache work; dot-commands inspect the system.
 //
-//   $ ./shell [num_tuples] [--compress]
+//   $ ./shell [num_tuples] [--compress] [--policy=<name>]
+//             [--benefit-source=static|measured] [--ghosts[=p1,p2,...]]
 //   chunkcache> SELECT D0.L1, SUM(dollar_sales) FROM Sales, D0 GROUP BY D0.L1
 //   chunkcache> .schema
 //   chunkcache> .cache
@@ -63,9 +64,52 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   uint64_t tuples = 100000;
   bool compress = false;
+  std::string policy = "benefit-clock";
+  std::string benefit_source = "static";
+  std::vector<std::string> ghosts;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--compress") {
+    const std::string arg = argv[i];
+    if (arg == "--compress") {
       compress = true;
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy = arg.substr(9);
+      if (cache::MakePolicy(policy) == nullptr) {
+        std::fprintf(stderr, "unknown policy \"%s\"; valid:", policy.c_str());
+        for (const auto& n : cache::KnownPolicyNames()) {
+          std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 1;
+      }
+    } else if (arg.rfind("--benefit-source=", 0) == 0) {
+      benefit_source = arg.substr(17);
+      if (benefit_source != "static" && benefit_source != "measured") {
+        std::fprintf(stderr,
+                     "--benefit-source must be 'static' or 'measured'\n");
+        return 1;
+      }
+    } else if (arg == "--ghosts") {
+      ghosts.assign(cache::KnownPolicyNames().begin(),
+                    cache::KnownPolicyNames().end());
+    } else if (arg.rfind("--ghosts=", 0) == 0) {
+      std::string list = arg.substr(9);
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!name.empty()) {
+          if (cache::MakePolicy(name) == nullptr) {
+            std::fprintf(stderr, "unknown ghost policy \"%s\"\n",
+                         name.c_str());
+            return 1;
+          }
+          ghosts.push_back(name);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else {
       tuples = std::strtoull(argv[i], nullptr, 10);
     }
@@ -98,6 +142,9 @@ int main(int argc, char** argv) {
   mopts.cache_shards = 8;    // sharded, thread-safe chunk cache
   mopts.trace_capacity = 64;  // per-query span trees for .trace
   mopts.enable_compression = compress;  // --compress: encoded cache tier
+  mopts.policy = policy;
+  mopts.benefit_source = benefit_source;
+  mopts.ghost_policies = ghosts;  // shadow policy scoreboard for .stats
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
 
@@ -147,6 +194,20 @@ int main(int argc, char** argv) {
                   (unsigned long long)cs.evictions,
                   (unsigned long long)cs.rejected);
       std::printf("  lock contention: %.3f ms total\n", cs.contention_ns / 1e6);
+      std::printf("replacement: policy=%s benefit-source=%s\n",
+                  tier.chunk_cache().policy_name().c_str(),
+                  tier.options().benefit_source.c_str());
+      if (cache::GhostCacheSet* gs = tier.chunk_cache().ghosts()) {
+        std::printf("  ghost standings (would-be hit ratio at same budget):\n");
+        for (const auto& st : gs->Standings()) {
+          const uint64_t refs = st.hits + st.misses;
+          std::printf("    %-18s hits=%llu/%llu (%.1f%%) evictions=%llu\n",
+                      st.policy.c_str(), (unsigned long long)st.hits,
+                      (unsigned long long)refs,
+                      refs ? 100.0 * st.hits / refs : 0.0,
+                      (unsigned long long)st.evictions);
+        }
+      }
       for (size_t i = 0; i < cs.shards.size(); ++i) {
         const auto& sh = cs.shards[i];
         std::printf("  shard %2zu: chunks=%llu bytes=%llu lookups=%llu "

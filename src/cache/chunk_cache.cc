@@ -35,8 +35,7 @@ ChunkCache::ChunkCache(uint64_t capacity_bytes, const std::string& policy,
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->policy = MakePolicy(policy);
-    CHUNKCACHE_CHECK(shard->policy != nullptr);
+    shard->policy = MakePolicyOrDie(policy);
     shard->capacity_bytes = capacity_bytes / n;
     shards_.push_back(std::move(shard));
   }
@@ -76,13 +75,22 @@ ChunkHandle ChunkCache::Lookup(uint32_t group_by_id, uint64_t chunk_num,
                                uint64_t filter_hash) {
   const Key key{group_by_id, chunk_num, filter_hash};
   Shard& s = ShardFor(key);
-  auto lock = LockShard(s);
-  s.lookups->Increment();
-  auto it = s.by_key.find(key);
-  if (it == s.by_key.end()) return nullptr;
-  s.hits->Increment();
-  s.policy->OnAccess(it->second);
-  return s.by_handle.at(it->second);
+  ChunkHandle out;
+  {
+    auto lock = LockShard(s);
+    s.lookups->Increment();
+    auto it = s.by_key.find(key);
+    if (it == s.by_key.end()) return nullptr;
+    s.hits->Increment();
+    s.policy->OnAccess(it->second);
+    out = s.by_handle.at(it->second);
+  }
+  // Shadow simulation sees every policy event (hits here, inserts in
+  // Insert), outside the shard lock so it never extends hold times.
+  if (GhostCacheSet* ghosts = this->ghosts()) {
+    ghosts->Access(KeyHash{}(key), out->ByteSize(), out->benefit);
+  }
+  return out;
 }
 
 bool ChunkCache::Contains(uint32_t group_by_id, uint64_t chunk_num,
@@ -136,33 +144,56 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
   const Key key{chunk->group_by_id, chunk->chunk_num, chunk->filter_hash};
   Shard& s = ShardFor(key);
   const uint64_t bytes = chunk->ByteSize();
-  auto lock = LockShard(s);
-  if (bytes > s.capacity_bytes) {
-    rejected_->Increment();
-    return;
-  }
-  // Replace an existing entry for the same key.
-  auto existing = s.by_key.find(key);
-  if (existing != s.by_key.end()) EraseLocked(s, existing->second);
+  const double benefit = chunk->benefit;
+  // Locked admission body as a lambda so every exit path — reject paths
+  // included — still feeds the ghost simulators below: a rejected insert
+  // is still a reference to the key, and the sims replicate the rejection
+  // logic themselves.
+  [&] {
+    auto lock = LockShard(s);
+    if (bytes > s.capacity_bytes) {
+      rejected_->Increment();
+      return;
+    }
+    // Replace an existing entry for the same key.
+    auto existing = s.by_key.find(key);
+    if (existing != s.by_key.end()) EraseLocked(s, existing->second);
 
-  // Evict until the newcomer fits.
-  while (s.bytes_used + bytes > s.capacity_bytes) {
-    auto victim = s.policy->PickVictim(chunk->benefit);
-    if (!victim) break;  // empty shard; nothing to evict
-    EraseLocked(s, *victim);
-    evictions_->Increment();
+    // Evict until the newcomer fits.
+    while (s.bytes_used + bytes > s.capacity_bytes) {
+      auto victim = s.policy->PickVictim(benefit);
+      if (!victim) break;  // empty shard; nothing to evict
+      EraseLocked(s, *victim);
+      evictions_->Increment();
+    }
+    if (s.bytes_used + bytes > s.capacity_bytes) {
+      rejected_->Increment();
+      return;
+    }
+    const uint64_t handle = s.next_handle++;
+    // Keyed insert: the key hash is stable across re-insertions of the
+    // same chunk under fresh handles, which is what ghost-listed policies
+    // (ARC, 2Q) need to recognize a re-fetched key.
+    s.policy->OnInsertKeyed(handle, KeyHash{}(key), benefit);
+    s.per_group_by[chunk->group_by_id]++;
+    s.by_key[key] = handle;
+    s.bytes_used += bytes;
+    s.by_handle.emplace(handle, std::move(chunk));
+    insertions_->Increment();
+  }();
+  if (GhostCacheSet* ghosts = this->ghosts()) {
+    ghosts->Access(KeyHash{}(key), bytes, benefit);
   }
-  if (s.bytes_used + bytes > s.capacity_bytes) {
-    rejected_->Increment();
-    return;
-  }
-  const uint64_t handle = s.next_handle++;
-  s.policy->OnInsert(handle, chunk->benefit);
-  s.per_group_by[chunk->group_by_id]++;
-  s.by_key[key] = handle;
-  s.bytes_used += bytes;
-  s.by_handle.emplace(handle, std::move(chunk));
-  insertions_->Increment();
+}
+
+void ChunkCache::EnableGhostPolicies(const std::vector<std::string>& policies,
+                                     bool record_trace) {
+  ghosts_live_.store(nullptr, std::memory_order_release);
+  ghosts_.reset();
+  if (policies.empty()) return;
+  ghosts_ = std::make_unique<GhostCacheSet>(policies, capacity_bytes_,
+                                            metrics_, record_trace);
+  ghosts_live_.store(ghosts_.get(), std::memory_order_release);
 }
 
 void ChunkCache::Clear() {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/ghost_cache.h"
 #include "cache/replacement.h"
 #include "chunks/group_by_spec.h"
 #include "common/metrics.h"
@@ -251,6 +252,21 @@ class ChunkCache {
   /// group-bys cheaply.
   uint64_t CountForGroupBy(uint32_t group_by_id) const;
 
+  /// Attaches a ghost-cache shadow simulation: every subsequent lookup hit
+  /// and insert is also fed (key hash + bytes + benefit only) to one
+  /// simulator per named policy, each budgeted at this cache's full
+  /// capacity, so alternative policies are scored online against the real
+  /// access stream. Standings export to the registry as
+  /// "cache.ghost.<policy>.*". Call during setup, before concurrent use;
+  /// calling again replaces the simulators.
+  void EnableGhostPolicies(const std::vector<std::string>& policies,
+                           bool record_trace = false);
+
+  /// The attached shadow simulation, or nullptr when disabled.
+  GhostCacheSet* ghosts() const {
+    return ghosts_live_.load(std::memory_order_acquire);
+  }
+
  private:
   using Key = ChunkKey;
   using KeyHash = ChunkKeyHash;
@@ -290,6 +306,10 @@ class ChunkCache {
 
   uint64_t capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unique_ptr<GhostCacheSet> ghosts_;
+  // Published with release so hot-path readers can load without a lock.
+  std::atomic<GhostCacheSet*> ghosts_live_{nullptr};
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none was passed
   MetricsRegistry* metrics_ = nullptr;

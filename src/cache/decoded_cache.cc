@@ -2,11 +2,23 @@
 
 namespace chunkcache::cache {
 
+DecodedCache::DecodedCache(uint64_t capacity_bytes, MetricsRegistry* metrics)
+    : capacity_bytes_(capacity_bytes) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->GetCounter("cache.decoded_lru_hits");
+  evictions_ = metrics->GetCounter("cache.decoded_lru_evictions");
+  bytes_gauge_ = metrics->GetGauge("cache.decoded_lru_bytes");
+}
+
 std::shared_ptr<const storage::AggColumns> DecodedCache::Get(
     const ChunkKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
+  hits_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -29,6 +41,7 @@ void DecodedCache::Put(const ChunkKey& key,
     bytes_used_ += bytes;
   }
   EvictOverBudgetLocked();
+  bytes_gauge_->Set(static_cast<int64_t>(bytes_used_));
 }
 
 void DecodedCache::Erase(const ChunkKey& key) {
@@ -38,6 +51,7 @@ void DecodedCache::Erase(const ChunkKey& key) {
   bytes_used_ -= it->second->second->ByteSize();
   lru_.erase(it->second);
   index_.erase(it);
+  bytes_gauge_->Set(static_cast<int64_t>(bytes_used_));
 }
 
 void DecodedCache::Clear() {
@@ -45,6 +59,7 @@ void DecodedCache::Clear() {
   lru_.clear();
   index_.clear();
   bytes_used_ = 0;
+  bytes_gauge_->Set(0);
 }
 
 void DecodedCache::EvictOverBudgetLocked() {
@@ -53,7 +68,7 @@ void DecodedCache::EvictOverBudgetLocked() {
     bytes_used_ -= victim.second->ByteSize();
     index_.erase(victim.first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->Increment();
   }
 }
 
@@ -65,11 +80,6 @@ uint64_t DecodedCache::bytes_used() const {
 size_t DecodedCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.size();
-}
-
-uint64_t DecodedCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return evictions_;
 }
 
 }  // namespace chunkcache::cache

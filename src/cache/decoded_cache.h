@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "cache/chunk_cache.h"
+#include "common/metrics.h"
 #include "storage/agg_columns.h"
 
 namespace chunkcache::cache {
@@ -19,17 +20,24 @@ namespace chunkcache::cache {
 /// bounded slice of memory for the common re-hit, while the main budget
 /// stays charged at encoded bytes.
 ///
+/// Statistics live on the MetricsRegistry (the PR 5 convention):
+/// "cache.decoded_lru_hits" / "cache.decoded_lru_evictions" counters and
+/// the "cache.decoded_lru_bytes" gauge are kept current by the cache
+/// itself — no shadow fields to fold at snapshot time. Passing a null
+/// registry gives the cache a private one.
+///
 /// Thread-safe; values are shared_ptr<const AggColumns>, so a returned
 /// decode stays valid however the LRU churns.
 class DecodedCache {
  public:
-  explicit DecodedCache(uint64_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  explicit DecodedCache(uint64_t capacity_bytes,
+                        MetricsRegistry* metrics = nullptr);
 
   DecodedCache(const DecodedCache&) = delete;
   DecodedCache& operator=(const DecodedCache&) = delete;
 
   /// The decoded columns for `key`, refreshing its recency; null if absent.
+  /// A hit bumps "cache.decoded_lru_hits".
   std::shared_ptr<const storage::AggColumns> Get(const ChunkKey& key);
 
   /// Remembers a decode, evicting least-recently-used entries over budget.
@@ -45,7 +53,8 @@ class DecodedCache {
   uint64_t bytes_used() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   size_t size() const;
-  uint64_t evictions() const;
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t evictions() const { return evictions_->Value(); }
 
  private:
   using Entry =
@@ -54,12 +63,15 @@ class DecodedCache {
   void EvictOverBudgetLocked();
 
   const uint64_t capacity_bytes_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none was passed
+  Counter* hits_ = nullptr;       // cache.decoded_lru_hits
+  Counter* evictions_ = nullptr;  // cache.decoded_lru_evictions
+  Gauge* bytes_gauge_ = nullptr;  // cache.decoded_lru_bytes
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<ChunkKey, std::list<Entry>::iterator, ChunkKeyHash>
       index_;
   uint64_t bytes_used_ = 0;
-  uint64_t evictions_ = 0;
 };
 
 }  // namespace chunkcache::cache

@@ -1,0 +1,128 @@
+#ifndef CHUNKCACHE_CACHE_GHOST_CACHE_H_
+#define CHUNKCACHE_CACHE_GHOST_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement.h"
+
+namespace chunkcache {
+class Counter;
+class MetricsRegistry;
+}  // namespace chunkcache
+
+namespace chunkcache::cache {
+
+/// One policy-event record from the real cache's access stream: key
+/// identity, payload size, and insert benefit — no payloads. A recorded
+/// trace replayed through a fresh GhostCacheSim must reproduce the online
+/// counters exactly (the bench asserts this).
+struct GhostEvent {
+  uint64_t key_id = 0;
+  uint64_t bytes = 0;
+  double benefit = 0;
+};
+
+/// Per-policy scoreboard row.
+struct GhostStanding {
+  std::string policy;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_used = 0;
+};
+
+/// Simulates one replacement policy against a stream of (key, bytes,
+/// benefit) references under a byte budget, holding keys + sizes only.
+/// Mirrors ChunkCache's insert semantics: an entry larger than the whole
+/// budget is rejected; otherwise victims are evicted until the entry fits,
+/// and the entry is rejected if the policy runs out of victims before it
+/// does (exactly the real cache's admission loop). The key id doubles
+/// as the policy handle, so keyed policies (ARC, 2Q) recognize re-fetched
+/// keys exactly as they would with a stable key hash.
+///
+/// Not thread-safe; GhostCacheSet serializes access.
+class GhostCacheSim {
+ public:
+  GhostCacheSim(const std::string& policy_name, uint64_t capacity_bytes);
+
+  /// Feeds one reference. Returns true on a would-be hit.
+  bool Access(uint64_t key_id, uint64_t bytes, double benefit);
+
+  const std::string& policy_name() const { return policy_name_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  const std::string policy_name_;
+  const uint64_t capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<uint64_t, uint64_t> entries_;  // key_id -> bytes
+  uint64_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Online shadow simulation of K alternative replacement policies against
+/// the real cache's access stream. The real cache calls Access() once per
+/// policy event (lookup hit or insert); every simulator sees the same
+/// stream, so one run scores every policy at once. Would-be hit/miss/
+/// eviction counts are exported to the metrics registry as
+/// "cache.ghost.<policy>.hits" / ".misses" / ".evictions".
+///
+/// With record_trace, the set also keeps the event stream (capped) so a
+/// dedicated replay can verify the online standings event-for-event.
+class GhostCacheSet {
+ public:
+  /// `policies` must all be valid MakePolicy names (checked fatally).
+  /// `metrics` may be null (counters skipped, standings still tracked).
+  GhostCacheSet(const std::vector<std::string>& policies,
+                uint64_t capacity_bytes, MetricsRegistry* metrics,
+                bool record_trace = false, size_t trace_cap = 1u << 22);
+  ~GhostCacheSet();
+
+  GhostCacheSet(const GhostCacheSet&) = delete;
+  GhostCacheSet& operator=(const GhostCacheSet&) = delete;
+
+  /// Feeds one reference from the real access stream to every simulator.
+  void Access(uint64_t key_id, uint64_t bytes, double benefit);
+
+  std::vector<GhostStanding> Standings() const;
+
+  /// Copy of the recorded event stream (empty unless record_trace). If the
+  /// cap was hit, trace_truncated() is true and replay validation is off.
+  std::vector<GhostEvent> Trace() const;
+  bool trace_truncated() const;
+
+  size_t num_policies() const { return sims_.size(); }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct PolicyCounters {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+  };
+
+  const uint64_t capacity_bytes_;
+  const bool record_trace_;
+  const size_t trace_cap_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<GhostCacheSim>> sims_;
+  std::vector<PolicyCounters> counters_;
+  std::vector<uint64_t> exported_evictions_;  // last value pushed to registry
+  std::vector<GhostEvent> trace_;
+  bool trace_truncated_ = false;
+};
+
+}  // namespace chunkcache::cache
+
+#endif  // CHUNKCACHE_CACHE_GHOST_CACHE_H_

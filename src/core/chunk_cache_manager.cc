@@ -48,8 +48,18 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
     trace_ = std::make_unique<TraceRecorder>(options_.trace_capacity);
   }
   if (options_.enable_compression && options_.decoded_cache_bytes > 0) {
-    decoded_ =
-        std::make_unique<cache::DecodedCache>(options_.decoded_cache_bytes);
+    decoded_ = std::make_unique<cache::DecodedCache>(
+        options_.decoded_cache_bytes, metrics_);
+  }
+  CHUNKCACHE_CHECK_MSG(options_.benefit_source == "static" ||
+                           options_.benefit_source == "measured",
+                       "benefit_source must be \"static\" or \"measured\"");
+  measured_benefit_ = options_.benefit_source == "measured";
+  benefit_ewma_.assign(engine_->scheme().NumGroupByIds(), 0.0);
+  benefit_seen_.assign(engine_->scheme().NumGroupByIds(), 0);
+  if (!options_.ghost_policies.empty()) {
+    cache_.EnableGhostPolicies(options_.ghost_policies,
+                               options_.ghost_record_trace);
   }
   queries_ = metrics_->GetCounter("query.executions");
   query_errors_ = metrics_->GetCounter("query.errors");
@@ -69,7 +79,7 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
   codec_raw_bytes_ = metrics_->GetCounter("cache.codec_raw_bytes");
   codec_encoded_bytes_ = metrics_->GetCounter("cache.codec_encoded_bytes");
   decode_calls_ = metrics_->GetCounter("cache.decode_calls");
-  decoded_lru_hits_ = metrics_->GetCounter("cache.decoded_lru_hits");
+  recompute_ns_ = metrics_->GetHistogram("benefit.recompute_ns");
   for (size_t c = 0; c < storage::codec::kNumCodecs; ++c) {
     const std::string base =
         std::string("cache.codec.") +
@@ -127,12 +137,8 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
       ->Set(static_cast<int64_t>(ks.runs_merged));
   metrics_->GetGauge("inflight.peak")
       ->Set(static_cast<int64_t>(inflight_.peak()));
-  if (decoded_ != nullptr) {
-    metrics_->GetGauge("cache.decoded_lru_evictions")
-        ->Set(static_cast<int64_t>(decoded_->evictions()));
-    metrics_->GetGauge("cache.decoded_lru_bytes")
-        ->Set(static_cast<int64_t>(decoded_->bytes_used()));
-  }
+  // Decoded-LRU stats need no folding here: DecodedCache homes its own
+  // hit/eviction counters and byte gauge on this registry directly.
   metrics_->GetGauge("faults.injected")
       ->Set(static_cast<int64_t>(FaultInjector::Global().faults_injected()));
   metrics_->GetGauge("disk.checksum_failures")
@@ -184,8 +190,7 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   s.codec_encoded_bytes = snap.counter("cache.codec_encoded_bytes");
   s.decode_calls = snap.counter("cache.decode_calls");
   s.decoded_lru_hits = snap.counter("cache.decoded_lru_hits");
-  s.decoded_lru_evictions =
-      static_cast<uint64_t>(snap.gauge("cache.decoded_lru_evictions"));
+  s.decoded_lru_evictions = snap.counter("cache.decoded_lru_evictions");
   s.simd_level = static_cast<uint64_t>(snap.gauge("simd.level"));
   return s;
 }
@@ -243,10 +248,7 @@ std::shared_ptr<const storage::AggColumns> ChunkCacheManager::ResolveCols(
   }
   const ChunkKey key{h->group_by_id, h->chunk_num, h->filter_hash};
   if (decoded_ != nullptr) {
-    if (auto hit = decoded_->Get(key)) {
-      decoded_lru_hits_->Increment();
-      return hit;
-    }
+    if (auto hit = decoded_->Get(key)) return hit;  // counted by the cache
   }
   const auto t0 = std::chrono::steady_clock::now();
   auto res =
@@ -358,7 +360,10 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
   const chunks::ChunkingScheme& scheme = engine_->scheme();
   const uint32_t gb_id = scheme.GroupById(query.group_by);
   const uint64_t filter_hash = FilterHash(query.non_group_by);
-  const double benefit = scheme.ChunkBenefit(query.group_by);
+  // Benefit carried by this query's inserts: the static |base|/#chunks
+  // heuristic, or the measured recompute EWMA (benefit_source option).
+  const double benefit =
+      InsertBenefit(gb_id, scheme.ChunkBenefit(query.group_by));
   const bool coalesce = options_.enable_miss_coalescing;
 
   // 1. Query analysis: chunk numbers needed (Section 5.2.2).
@@ -514,7 +519,21 @@ Result<std::vector<ResultRow>> ChunkCacheManager::ExecuteTraced(
   // the calling thread in both branches below, so the span is safe.
   const auto compute_owned = [&]() -> Result<std::vector<ChunkData>> {
     ScopedSpan scan_span(trace, "scan_aggregate", miss_span);
-    return RunWithRetry(options_.retry, ctrl, &stats->retries, compute_once);
+    const auto rt0 = std::chrono::steady_clock::now();
+    auto res =
+        RunWithRetry(options_.retry, ctrl, &stats->retries, compute_once);
+    if (res.ok() && !res->empty()) {
+      // The whole retry loop is the honest cost of getting these chunks
+      // back — that is exactly what a future eviction would re-pay.
+      RecordRecompute(
+          gb_id,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - rt0)
+                  .count()),
+          res->size());
+    }
+    return res;
   };
   Result<std::vector<ChunkData>> computed = std::vector<ChunkData>{};
   const bool overlap = pool_ != nullptr && !owned_nums.empty() &&
@@ -811,6 +830,36 @@ ChunkCacheManager::PlanDrillDown(const StarJoinQuery& query,
   return std::optional<PrefetchPlan>(std::move(plan));
 }
 
+void ChunkCacheManager::RecordRecompute(uint32_t gb_id, uint64_t total_ns,
+                                        size_t chunks) {
+  if (chunks == 0) return;
+  const uint64_t per_chunk_ns = total_ns / chunks;
+  recompute_ns_->Record(per_chunk_ns);
+  if (!measured_benefit_) return;
+  constexpr double kAlpha = 0.25;  // EWMA smoothing
+  std::lock_guard<std::mutex> lock(benefit_mu_);
+  if (gb_id >= benefit_ewma_.size()) return;
+  const double sample = static_cast<double>(per_chunk_ns);
+  if (benefit_seen_[gb_id] == 0) {
+    benefit_ewma_[gb_id] = sample;
+    benefit_seen_[gb_id] = 1;
+  } else {
+    benefit_ewma_[gb_id] += kAlpha * (sample - benefit_ewma_[gb_id]);
+  }
+}
+
+double ChunkCacheManager::InsertBenefit(uint32_t gb_id,
+                                        double static_benefit) const {
+  if (!measured_benefit_) return static_benefit;
+  std::lock_guard<std::mutex> lock(benefit_mu_);
+  if (gb_id < benefit_ewma_.size() && benefit_seen_[gb_id] != 0) {
+    return benefit_ewma_[gb_id];
+  }
+  // No measurement yet for this class — fall back to the heuristic so the
+  // very first inserts still carry a sane relative weight.
+  return static_benefit;
+}
+
 Result<uint64_t> ChunkCacheManager::RunPrefetch(
     const PrefetchPlan& plan, const std::vector<NonGroupByPredicate>& preds,
     uint64_t filter_hash, WorkCounters* work) {
@@ -857,18 +906,28 @@ Result<uint64_t> ChunkCacheManager::RunPrefetch(
     }
   };
   // Serial inside the worker (nested fan-out would tie up the pool).
+  const auto rt0 = std::chrono::steady_clock::now();
   auto computed = engine_->ComputeChunks(plan.drill, to_fetch, preds, work);
   if (!computed.ok()) {
     fail_all(computed.status());
     return computed.status();
   }
+  if (!computed->empty()) {
+    RecordRecompute(plan.drill_id,
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - rt0)
+                            .count()),
+                    computed->size());
+  }
+  const double insert_benefit = InsertBenefit(plan.drill_id, plan.benefit);
   for (size_t i = 0; i < computed->size(); ++i) {
     ChunkData& data = (*computed)[i];
     auto entry = std::make_shared<cache::CachedChunk>();
     entry->group_by_id = plan.drill_id;
     entry->chunk_num = data.chunk_num;
     entry->filter_hash = filter_hash;
-    entry->benefit = plan.benefit;
+    entry->benefit = insert_benefit;
     entry->cols = std::move(data.cols);
     MaybeCompressEntry(entry.get());
     cache::ChunkHandle handle = entry;

@@ -25,8 +25,33 @@ namespace chunkcache::core {
 /// Configuration of the chunk-caching middle tier.
 struct ChunkManagerOptions {
   uint64_t cache_bytes = 30ull << 20;   ///< Paper: 30 MB cache.
-  std::string policy = "benefit-clock";  ///< lru | clock | benefit-clock.
+  /// Replacement policy: any cache::KnownPolicyNames() name (lru, clock,
+  /// benefit-clock, arc, slru, 2q, lfu-aging, benefit-lfu-aging). Unknown
+  /// names abort with a message listing the valid set.
+  std::string policy = "benefit-clock";
   CostModel cost_model;
+
+  /// Where the benefit fed to the replacement policy on insert comes from:
+  ///  - "static":   the paper's |base| / #chunks heuristic
+  ///                (ChunkingScheme::ChunkBenefit) — today's behavior.
+  ///  - "measured": the EWMA of actual per-chunk scan+aggregate ns
+  ///                observed for the chunk's group-by (each group-by has
+  ///                one fixed chunk volume, so group-by id is exactly the
+  ///                (group-by, chunk-volume) class), falling back to the
+  ///                static value until the first measurement lands.
+  /// Replacement only decides *which* chunks stay cached, never answers,
+  /// so query results are bit-identical either way (bench-asserted).
+  std::string benefit_source = "static";
+
+  /// Ghost-cache shadow policies: for each name listed here the chunk
+  /// cache runs an online simulator (keys + sizes only) against the real
+  /// access stream and exports would-be-hit counters as
+  /// "cache.ghost.<policy>.*". Empty = no shadow simulation (no overhead).
+  std::vector<std::string> ghost_policies;
+
+  /// Record the ghost event stream so a replay can validate the online
+  /// standings (bench_replacement does); costs memory, off by default.
+  bool ghost_record_trace = false;
 
   /// Worker threads for the parallel miss pipeline. With <= 1 the manager
   /// runs the exact serial paper path (no pool is created); with more, a
@@ -239,6 +264,16 @@ class ChunkCacheManager final : public MiddleTier {
       const std::vector<backend::NonGroupByPredicate>& preds,
       uint64_t filter_hash, WorkCounters* work);
 
+  /// Feeds one backend recompute observation (`total_ns` spent producing
+  /// `chunks` chunks of `gb_id`) into the "benefit.recompute_ns" histogram
+  /// and, in measured mode, the per-group-by EWMA.
+  void RecordRecompute(uint32_t gb_id, uint64_t total_ns, size_t chunks);
+
+  /// The benefit an insert of a `gb_id` chunk should carry: the static
+  /// heuristic value, or (benefit_source = "measured") the EWMA of
+  /// measured per-chunk recompute ns once a sample exists.
+  double InsertBenefit(uint32_t gb_id, double static_benefit) const;
+
   backend::BackendEngine* engine_;
   ChunkManagerOptions options_;
   // Declared before cache_: the cache (and scheduler) home their
@@ -278,7 +313,6 @@ class ChunkCacheManager final : public MiddleTier {
   Counter* codec_raw_bytes_ = nullptr;      // cache.codec_raw_bytes
   Counter* codec_encoded_bytes_ = nullptr;  // cache.codec_encoded_bytes
   Counter* decode_calls_ = nullptr;         // cache.decode_calls
-  Counter* decoded_lru_hits_ = nullptr;     // cache.decoded_lru_hits
   // Per-codec column traffic: cache.codec.<name>.{raw,encoded}_bytes and
   // .columns, indexed by storage::codec::ColumnCodec.
   std::array<Counter*, storage::codec::kNumCodecs> codec_col_raw_{};
@@ -286,6 +320,16 @@ class ChunkCacheManager final : public MiddleTier {
   std::array<Counter*, storage::codec::kNumCodecs> codec_col_columns_{};
   Histogram* encode_ns_ = nullptr;  // codec.encode_ns
   Histogram* decode_ns_ = nullptr;  // codec.decode_ns
+
+  // Measured cost-of-recompute benefit source (benefit_source option).
+  // One EWMA of per-chunk scan+aggregate ns per group-by id; group-by id
+  // doubles as the (group-by, chunk-volume) class since each group-by's
+  // grid fixes its chunk volume.
+  bool measured_benefit_ = false;
+  Histogram* recompute_ns_ = nullptr;  // benefit.recompute_ns
+  mutable std::mutex benefit_mu_;
+  std::vector<double> benefit_ewma_;
+  std::vector<uint8_t> benefit_seen_;
 
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`

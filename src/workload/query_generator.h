@@ -37,6 +37,16 @@ struct WorkloadOptions {
   /// Probability that a dimension is aggregated away (level 0) when
   /// drawing a random aggregation level.
   double all_level_prob = 0.25;
+
+  /// Zipfian multi-region locality (0 = off, the classic single hot
+  /// prefix). When > 0, a "hot" query first draws one of `zipf_regions`
+  /// fixed regions with Zipf(zipf_s) popularity — region k is a
+  /// hot-fraction-sized window per dimension whose position is hashed
+  /// from (k, dim), stable for the whole stream — and then selects inside
+  /// that window. Region 0 is hit most, the tail rarely: the skewed reuse
+  /// distribution replacement policies differ on.
+  uint32_t zipf_regions = 0;
+  double zipf_s = 0.9;
 };
 
 /// The three named streams of Table 2, with the hot-region setting of the
@@ -44,6 +54,14 @@ struct WorkloadOptions {
 WorkloadOptions RandomStream(uint64_t seed);
 WorkloadOptions EqprStream(uint64_t seed);
 WorkloadOptions ProximityStream(uint64_t seed);
+
+/// Replacement-lab mixes (bench_replacement). Zipfian: 16 fixed regions
+/// with Zipf(0.9) popularity and moderate proximity — skewed reuse where
+/// recency/frequency policies separate. Scan-heavy: wide selections
+/// (50–90 % of each level) with almost no locality — the flood that
+/// punishes policies without scan resistance.
+WorkloadOptions ZipfianStream(uint64_t seed);
+WorkloadOptions ScanHeavyStream(uint64_t seed);
 
 /// Generates a stream of star-join queries over `schema` with tunable
 /// locality. Deterministic for a fixed seed.
@@ -68,6 +86,16 @@ class QueryGenerator {
   /// dimension sized so the sub-cube covers ~hot_fraction of the space.
   uint32_t HotMaxOrdinal(uint32_t dim, uint32_t level) const;
 
+  /// Draws a Zipf-distributed region index in [0, zipf_regions) via
+  /// inverse CDF over the precomputed cumulative weights.
+  uint32_t ZipfRegion();
+
+  /// The [begin, end] ordinal window of zipf region `k` on (dim, level):
+  /// hot-fraction-sized, anchored at a position hashed from (k, dim,
+  /// level) so every revisit of region k lands on the same members.
+  void RegionWindow(uint32_t k, uint32_t dim, uint32_t level,
+                    uint32_t* begin, uint32_t* end) const;
+
   backend::StarJoinQuery RandomQuery(bool hot);
   backend::StarJoinQuery ProximityQuery();
 
@@ -77,6 +105,8 @@ class QueryGenerator {
   // Per-dimension fraction of base values inside the hot region
   // (hot_fraction ^ (1/num_dims)).
   double per_dim_hot_fraction_;
+  // Cumulative Zipf weights (empty when zipf_regions == 0).
+  std::vector<double> zipf_cum_;
   std::optional<backend::StarJoinQuery> last_query_;
   bool last_hot_ = false;
   bool last_proximity_ = false;

@@ -8,6 +8,7 @@
 
 #include <list>
 #include <set>
+#include <string>
 #include <unordered_map>
 
 #include "cache/replacement.h"
@@ -91,7 +92,7 @@ TEST(ReplacementModelTest, LruMatchesReferenceExactly) {
 // Structural invariants every policy must satisfy under random traces:
 // victims are live entries; size bookkeeping is exact; a policy never
 // "loses" entries (every live entry is eventually evictable).
-class AnyPolicyModelTest : public ::testing::TestWithParam<const char*> {};
+class AnyPolicyModelTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(AnyPolicyModelTest, VictimsAreAlwaysLiveAndSizeIsExact) {
   auto policy = MakePolicy(GetParam());
@@ -137,7 +138,138 @@ TEST_P(AnyPolicyModelTest, VictimsAreAlwaysLiveAndSizeIsExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, AnyPolicyModelTest,
-                         ::testing::Values("lru", "clock", "benefit-clock"));
+                         ::testing::ValuesIn(KnownPolicyNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Keyed variant of the same fuzz: drives OnInsertKeyed with a small,
+// recurring key universe so ghost-listed policies (ARC, 2Q) exercise
+// their re-admission paths, not just cold inserts.
+class KeyedPolicyModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KeyedPolicyModelTest, KeyedReinsertionKeepsInvariants) {
+  auto policy = MakePolicy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  Random rng(4242);
+  std::unordered_map<uint64_t, uint64_t> live;  // key -> handle
+  uint64_t next_handle = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.45 || live.empty()) {
+      // Keys recur from a universe of 64: evicted keys come back with
+      // fresh handles, exactly like a re-fetched chunk.
+      const uint64_t key = rng.Uniform(64);
+      if (live.count(key)) continue;  // the real cache would hit instead
+      const uint64_t h = next_handle++;
+      policy->OnInsertKeyed(h, key, 1.0 + rng.NextDouble() * 100);
+      live[key] = h;
+    } else if (roll < 0.6) {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      policy->OnAccess(it->second);
+    } else {
+      auto victim = policy->PickVictim(1.0 + rng.NextDouble() * 10);
+      ASSERT_EQ(victim.has_value(), !live.empty()) << "step " << step;
+      if (victim) {
+        auto it = live.begin();
+        for (; it != live.end(); ++it) {
+          if (it->second == *victim) break;
+        }
+        ASSERT_NE(it, live.end()) << "dead victim at step " << step;
+        policy->OnErase(*victim);
+        live.erase(it);
+      }
+    }
+    ASSERT_EQ(policy->size(), live.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, KeyedPolicyModelTest,
+                         ::testing::ValuesIn(KnownPolicyNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MakePolicyTest, KnownNamesConstructAndUnknownIsRejected) {
+  for (const std::string& name : KnownPolicyNames()) {
+    EXPECT_NE(MakePolicy(name), nullptr) << name;
+  }
+  EXPECT_EQ(MakePolicy("bogus"), nullptr);
+  EXPECT_EQ(MakePolicy(""), nullptr);
+  EXPECT_EQ(MakePolicy("LRU"), nullptr);  // names are case-sensitive
+}
+
+// Satellite regression: forcing ring compaction at arbitrary points must
+// not change a CLOCK policy's eviction decisions. Two identical instances
+// are driven by the same trace; one is compacted aggressively, and every
+// victim choice must still agree.
+class ClockCompactionTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClockCompactionTest, CompactionPreservesEvictionOrder) {
+  for (uint64_t seed : {11, 22, 33}) {
+    auto plain = MakePolicy(GetParam());
+    auto compacted = MakePolicy(GetParam());
+    auto* compacted_clock = dynamic_cast<ClockBase*>(compacted.get());
+    ASSERT_NE(compacted_clock, nullptr);
+    Random rng(seed);
+    std::set<uint64_t> live;
+    uint64_t next = 0;
+    for (int step = 0; step < 8000; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.4 || live.empty()) {
+        const double benefit = 1.0 + rng.NextDouble() * 50;
+        plain->OnInsert(next, benefit);
+        compacted->OnInsert(next, benefit);
+        live.insert(next);
+        ++next;
+      } else if (roll < 0.55) {
+        auto it = live.begin();
+        std::advance(it, rng.Uniform(live.size()));
+        plain->OnAccess(*it);
+        compacted->OnAccess(*it);
+      } else if (roll < 0.7) {
+        auto it = live.begin();
+        std::advance(it, rng.Uniform(live.size()));
+        plain->OnErase(*it);
+        compacted->OnErase(*it);
+        live.erase(it);
+      } else {
+        const double incoming = 1.0 + rng.NextDouble() * 10;
+        const auto a = plain->PickVictim(incoming);
+        const auto b = compacted->PickVictim(incoming);
+        ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+        if (a) {
+          ASSERT_EQ(*a, *b) << "seed " << seed << " step " << step;
+          plain->OnErase(*a);
+          compacted->OnErase(*b);
+          live.erase(*a);
+        }
+      }
+      if (step % 97 == 0) compacted_clock->ForceCompact();
+      ASSERT_EQ(plain->size(), compacted->size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, ClockCompactionTest,
+                         ::testing::Values(std::string("clock"),
+                                           std::string("benefit-clock")),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
 
 // Behavioral check: under a scan-like trace (insert many once-used
 // entries), benefit-clock retains high-benefit entries far longer than
@@ -166,6 +298,86 @@ TEST(ReplacementModelTest, BenefitClockShieldsExpensiveEntries) {
   };
   EXPECT_EQ(run("benefit-clock"), 2u);  // both survived the scan
   EXPECT_EQ(run("lru"), 0u);            // LRU flushed them
+}
+
+// Scan-resistance harness: a 10-entry working set is established (with
+// whatever warm-up the policy needs to recognize it as valuable), then a
+// one-pass scan of 200 never-repeated keys floods through a 10-entry
+// budget. Returns how many working-set entries survive.
+size_t SurvivorsAfterScan(const std::string& name, bool reinsert_warmup) {
+  auto policy = MakePolicy(name);
+  std::unordered_map<uint64_t, uint64_t> live;  // key -> handle
+  uint64_t next_handle = 0;
+  auto evict_to = [&](size_t cap) {
+    while (live.size() >= cap) {
+      auto v = policy->PickVictim(1.0);
+      policy->OnErase(*v);
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->second == *v) {
+          live.erase(it);
+          break;
+        }
+      }
+    }
+  };
+  auto insert = [&](uint64_t key) {
+    evict_to(10);
+    const uint64_t h = next_handle++;
+    policy->OnInsertKeyed(h, key, 1.0);
+    live[key] = h;
+  };
+  // Working set: keys 0..9.
+  for (uint64_t k = 0; k < 10; ++k) insert(k);
+  if (reinsert_warmup) {
+    // Evict everything and bring the set back: ghost-based policies (2Q)
+    // promote on the re-fetch, exactly like a recurring chunk.
+    evict_to(1);
+    auto last = policy->PickVictim(1.0);
+    if (last) {
+      policy->OnErase(*last);
+      live.clear();
+    }
+    for (uint64_t k = 0; k < 10; ++k) insert(k);
+  }
+  // Mark the set hot.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 10; ++k) {
+      auto it = live.find(k);
+      if (it != live.end()) policy->OnAccess(it->second);
+    }
+  }
+  // The flood: 200 cold keys, never re-referenced.
+  for (uint64_t k = 1000; k < 1200; ++k) insert(k);
+  size_t survivors = 0;
+  for (uint64_t k = 0; k < 10; ++k) survivors += live.count(k);
+  return survivors;
+}
+
+// ARC and SLRU shield a re-referenced working set from a one-pass scan;
+// 2Q does the same once its ghost has seen the keys recur. LRU, by
+// construction, loses the entire set.
+TEST(ReplacementModelTest, ScanResistantPoliciesShieldTheWorkingSet) {
+  EXPECT_EQ(SurvivorsAfterScan("lru", false), 0u);
+  EXPECT_GE(SurvivorsAfterScan("arc", false), 5u);
+  EXPECT_GE(SurvivorsAfterScan("slru", false), 5u);
+  EXPECT_GE(SurvivorsAfterScan("2q", true), 5u);
+  EXPECT_GE(SurvivorsAfterScan("lfu-aging", false), 5u);
+}
+
+// ARC adapts: a key that returns shortly after eviction registers a ghost
+// hit, growing the recency target instead of silently missing.
+TEST(ReplacementModelTest, ArcGhostHitAdjustsTarget) {
+  ArcPolicy arc;
+  // Fill, then evict one entry into the B1 ghost list.
+  for (uint64_t k = 0; k < 4; ++k) arc.OnInsertKeyed(k, k, 1.0);
+  auto v = arc.PickVictim(1.0);
+  ASSERT_TRUE(v.has_value());
+  arc.OnErase(*v);
+  const double p_before = arc.target_p();
+  ASSERT_GT(arc.ghost_size(), 0u);
+  // Re-fetch the evicted key under a fresh handle: B1 hit, p grows.
+  arc.OnInsertKeyed(100, *v, 1.0);
+  EXPECT_GT(arc.target_p(), p_before);
 }
 
 }  // namespace

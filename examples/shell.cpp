@@ -4,6 +4,7 @@
 //
 //   $ ./shell [num_tuples] [--compress] [--policy=<name>]
 //             [--benefit-source=static|measured] [--ghosts[=p1,p2,...]]
+//             [--persist-dir=PATH] [--snapshot-every=N]
 //   chunkcache> SELECT D0.L1, SUM(dollar_sales) FROM Sales, D0 GROUP BY D0.L1
 //   chunkcache> .schema
 //   chunkcache> .cache
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
   std::string policy = "benefit-clock";
   std::string benefit_source = "static";
   std::vector<std::string> ghosts;
+  std::string persist_dir;
+  uint64_t snapshot_every = 4096;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--compress") {
@@ -88,6 +91,14 @@ int main(int argc, char** argv) {
                      "--benefit-source must be 'static' or 'measured'\n");
         return 1;
       }
+    } else if (arg.rfind("--persist-dir=", 0) == 0) {
+      persist_dir = arg.substr(14);
+      if (persist_dir.empty()) {
+        std::fprintf(stderr, "--persist-dir needs a path\n");
+        return 1;
+      }
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      snapshot_every = std::strtoull(arg.c_str() + 17, nullptr, 10);
     } else if (arg == "--ghosts") {
       ghosts.assign(cache::KnownPolicyNames().begin(),
                     cache::KnownPolicyNames().end());
@@ -145,6 +156,12 @@ int main(int argc, char** argv) {
   mopts.policy = policy;
   mopts.benefit_source = benefit_source;
   mopts.ghost_policies = ghosts;  // shadow policy scoreboard for .stats
+  // --persist-dir: the cache survives restarts (snapshot + WAL). Note the
+  // shell regenerates its synthetic facts per run, so recovered entries
+  // are only meaningful when num_tuples (and the seed) match the run that
+  // wrote them — which they do for repeated invocations of this binary.
+  mopts.persist_dir = persist_dir;
+  mopts.persist_snapshot_every = snapshot_every;
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
 
@@ -300,6 +317,25 @@ int main(int argc, char** argv) {
                       h.Quantile(0.5) / 1e3, h.Quantile(0.95) / 1e3,
                       h.Quantile(0.99) / 1e3);
         }
+      }
+      if (tier.persistence() != nullptr) {
+        const auto& rec = tier.recovery_stats();
+        std::printf("persist: wal records=%llu bytes=%llu errors=%llu "
+                    "snapshots=%llu bytes=%llu errors=%llu\n",
+                    (unsigned long long)cs.persist_wal_records,
+                    (unsigned long long)cs.persist_wal_bytes,
+                    (unsigned long long)cs.persist_wal_errors,
+                    (unsigned long long)cs.persist_snapshots,
+                    (unsigned long long)cs.persist_snapshot_bytes,
+                    (unsigned long long)cs.persist_snapshot_errors);
+        std::printf("  recovery: entries=%llu replayed=%llu truncated "
+                    "bytes=%llu quarantined=%llu in %.2fms (generation %llu)\n",
+                    (unsigned long long)cs.persist_recovered_entries,
+                    (unsigned long long)cs.persist_replayed_records,
+                    (unsigned long long)cs.persist_truncated_bytes,
+                    (unsigned long long)cs.persist_quarantined,
+                    rec.recovery_ns / 1e6,
+                    (unsigned long long)tier.persistence()->generation());
       }
       auto lat = ms.histograms.find("query.latency_ns");
       if (lat != ms.histograms.end() && lat->second.count > 0) {

@@ -145,6 +145,12 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
   Shard& s = ShardFor(key);
   const uint64_t bytes = chunk->ByteSize();
   const double benefit = chunk->benefit;
+  // Event-sink bookkeeping: victim keys are collected under the shard lock
+  // but delivered only after it is dropped (same discipline as the ghost
+  // feed below), so the WAL writer never extends shard hold times.
+  std::vector<Key> evicted;
+  bool admitted = false;
+  std::shared_ptr<const CachedChunk> admitted_entry;
   // Locked admission body as a lambda so every exit path — reject paths
   // included — still feeds the ghost simulators below: a rejected insert
   // is still a reference to the key, and the sims replicate the rejection
@@ -155,7 +161,8 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
       rejected_->Increment();
       return;
     }
-    // Replace an existing entry for the same key.
+    // Replace an existing entry for the same key. Not reported as an
+    // eviction to the sink: the admit event that follows overwrites it.
     auto existing = s.by_key.find(key);
     if (existing != s.by_key.end()) EraseLocked(s, existing->second);
 
@@ -163,6 +170,8 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
     while (s.bytes_used + bytes > s.capacity_bytes) {
       auto victim = s.policy->PickVictim(benefit);
       if (!victim) break;  // empty shard; nothing to evict
+      const CachedChunk& v = *s.by_handle.at(*victim);
+      evicted.push_back(Key{v.group_by_id, v.chunk_num, v.filter_hash});
       EraseLocked(s, *victim);
       evictions_->Increment();
     }
@@ -178,9 +187,15 @@ void ChunkCache::Insert(std::shared_ptr<CachedChunk> chunk) {
     s.per_group_by[chunk->group_by_id]++;
     s.by_key[key] = handle;
     s.bytes_used += bytes;
+    admitted_entry = chunk;
+    admitted = true;
     s.by_handle.emplace(handle, std::move(chunk));
     insertions_->Increment();
   }();
+  if (CacheEventSink* sink = sink_live_.load(std::memory_order_acquire)) {
+    for (const Key& k : evicted) sink->OnEvict(k);
+    if (admitted) sink->OnAdmit(admitted_entry);
+  }
   if (GhostCacheSet* ghosts = this->ghosts()) {
     ghosts->Access(KeyHash{}(key), bytes, benefit);
   }
@@ -197,15 +212,42 @@ void ChunkCache::EnableGhostPolicies(const std::vector<std::string>& policies,
 }
 
 void ChunkCache::Clear() {
+  CacheEventSink* sink = sink_live_.load(std::memory_order_acquire);
+  std::vector<Key> evicted;
   for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    for (const auto& [handle, chunk] : shard->by_handle) {
-      shard->policy->OnErase(handle);
+    {
+      auto lock = LockShard(*shard);
+      for (const auto& [handle, chunk] : shard->by_handle) {
+        shard->policy->OnErase(handle);
+        if (sink != nullptr) {
+          evicted.push_back(
+              Key{chunk->group_by_id, chunk->chunk_num, chunk->filter_hash});
+        }
+      }
+      shard->by_handle.clear();
+      shard->by_key.clear();
+      shard->per_group_by.clear();
+      shard->bytes_used = 0;
     }
-    shard->by_handle.clear();
-    shard->by_key.clear();
-    shard->per_group_by.clear();
-    shard->bytes_used = 0;
+    // One shard at a time, outside its lock — same contract as Insert.
+    for (const Key& k : evicted) sink->OnEvict(k);
+    evicted.clear();
+  }
+}
+
+void ChunkCache::ForEachEntry(
+    const std::function<void(const ChunkHandle&)>& fn) const {
+  std::vector<ChunkHandle> pinned;
+  for (const auto& shard : shards_) {
+    pinned.clear();
+    {
+      auto lock = LockShard(*shard);
+      pinned.reserve(shard->by_handle.size());
+      for (const auto& [handle, chunk] : shard->by_handle) {
+        pinned.push_back(chunk);
+      }
+    }
+    for (const ChunkHandle& h : pinned) fn(h);
   }
 }
 

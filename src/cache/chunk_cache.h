@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -171,6 +172,38 @@ struct ChunkCacheStats {
   /// Active SIMD dispatch level (simd::IsaLevel: 0 = scalar, 1 = avx2),
   /// filled by ChunkCacheManager::StatsSnapshot.
   uint64_t simd_level = 0;
+
+  // Persistence counters, filled by ChunkCacheManager::StatsSnapshot when
+  // persist_dir is configured; zero otherwise. (DESIGN.md §14.)
+  uint64_t persist_wal_records = 0;    ///< WAL records appended.
+  uint64_t persist_wal_bytes = 0;      ///< WAL bytes appended.
+  uint64_t persist_wal_errors = 0;     ///< Failed appends/fsyncs (dropped).
+  uint64_t persist_snapshots = 0;      ///< Snapshot generations completed.
+  uint64_t persist_snapshot_bytes = 0;
+  uint64_t persist_snapshot_errors = 0;
+  uint64_t persist_recovered_entries = 0;  ///< Entries served warm at boot.
+  uint64_t persist_replayed_records = 0;   ///< WAL records replayed at boot.
+  uint64_t persist_truncated_bytes = 0;    ///< Torn-tail bytes dropped.
+  uint64_t persist_quarantined = 0;        ///< Corrupt entries dropped.
+  uint64_t persist_recovery_ns = 0;        ///< Wall time of last recovery.
+  uint64_t disk_write_errors = 0;  ///< DiskManager short writes / fsyncs.
+};
+
+/// Observer of cache admission state changes, used by the persistence WAL.
+/// Both callbacks run OUTSIDE every shard lock (same discipline as the
+/// ghost-cache feed), so implementations may block on I/O or call back
+/// into the cache without holding up other shards. Because they run after
+/// the lock is dropped, callbacks from concurrent inserts may interleave
+/// in an order different from the cache mutations; consumers must treat
+/// the stream as idempotent hints (the WAL replay does).
+class CacheEventSink {
+ public:
+  virtual ~CacheEventSink() = default;
+  /// `entry` was admitted (fresh insert or same-key replacement). The
+  /// shared_ptr pins the payload for the duration of the call.
+  virtual void OnAdmit(const std::shared_ptr<const CachedChunk>& entry) = 0;
+  /// The entry keyed `key` left the cache (eviction, replacement, Clear).
+  virtual void OnEvict(const ChunkKey& key) = 0;
 };
 
 /// The middle-tier chunk cache: a byte-budgeted map from
@@ -267,6 +300,22 @@ class ChunkCache {
     return ghosts_live_.load(std::memory_order_acquire);
   }
 
+  /// Attaches (or with nullptr detaches) an admission/eviction observer.
+  /// Call during setup or shutdown, not concurrently with traffic: events
+  /// already past their shard unlock may still be delivered to the old
+  /// sink for a moment.
+  void SetEventSink(CacheEventSink* sink) {
+    sink_live_.store(sink, std::memory_order_release);
+  }
+
+  /// Visits a point-in-time copy of every cached entry, shard by shard.
+  /// At most one shard lock is held at a time, and `fn` always runs with
+  /// no lock held (on pinned handle copies), so snapshotting a large cache
+  /// never stalls more than one shard's traffic and `fn` may freely call
+  /// back into the cache. Entries inserted or evicted concurrently may or
+  /// may not be visited — the usual point-in-time iteration contract.
+  void ForEachEntry(const std::function<void(const ChunkHandle&)>& fn) const;
+
  private:
   using Key = ChunkKey;
   using KeyHash = ChunkKeyHash;
@@ -310,6 +359,8 @@ class ChunkCache {
   std::unique_ptr<GhostCacheSet> ghosts_;
   // Published with release so hot-path readers can load without a lock.
   std::atomic<GhostCacheSet*> ghosts_live_{nullptr};
+  // Not owned; published the same way as the ghost feed.
+  std::atomic<CacheEventSink*> sink_live_{nullptr};
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none was passed
   MetricsRegistry* metrics_ = nullptr;

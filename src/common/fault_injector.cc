@@ -48,6 +48,16 @@ const char* FaultSiteName(FaultSite site) {
       return "scan-admit";
     case FaultSite::kCacheInsert:
       return "cache-insert";
+    case FaultSite::kWalAppend:
+      return "wal-append";
+    case FaultSite::kWalFsync:
+      return "wal-fsync";
+    case FaultSite::kSnapshotWrite:
+      return "snapshot-write";
+    case FaultSite::kSnapshotRename:
+      return "snapshot-rename";
+    case FaultSite::kRecoveryRead:
+      return "recovery-read";
   }
   return "unknown";
 }

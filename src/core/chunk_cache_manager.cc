@@ -20,6 +20,30 @@ using chunks::ChunkCoords;
 using chunks::GroupBySpec;
 using storage::AggTuple;
 
+/// WAL event sink: translates cache admissions/evictions into persistence
+/// records. The cache invokes it outside every shard lock (CacheEventSink
+/// contract), so WAL appends — and the occasional inline auto-snapshot —
+/// never extend shard hold times.
+class ChunkCacheManager::PersistSink final : public cache::CacheEventSink {
+ public:
+  explicit PersistSink(ChunkCacheManager* mgr) : mgr_(mgr) {}
+
+  void OnAdmit(
+      const std::shared_ptr<const cache::CachedChunk>& entry) override {
+    mgr_->persist_->LogAdmit(mgr_->ToPersisted(*entry));
+    mgr_->MaybeAutoSnapshot();
+  }
+
+  void OnEvict(const cache::ChunkKey& key) override {
+    mgr_->persist_->LogEvict(key.group_by_id, key.chunk_num,
+                             key.filter_hash);
+    mgr_->MaybeAutoSnapshot();
+  }
+
+ private:
+  ChunkCacheManager* mgr_;
+};
+
 ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
                                      ChunkManagerOptions options)
     : engine_(engine),
@@ -95,11 +119,128 @@ ChunkCacheManager::ChunkCacheManager(backend::BackendEngine* engine,
   // unbinds only its own binding, so stacked tiers sharing one engine
   // behave sanely.
   engine_->pool().BindMetrics(metrics_);
+  RecoverPersistedCache();
 }
 
 ChunkCacheManager::~ChunkCacheManager() {
   DrainPrefetch();
+  if (persist_ != nullptr) {
+    // Detach the sink first so no straggler event reaches a dying WAL
+    // writer, then leave a final snapshot (skipped after SimulateCrash —
+    // a killed process writes nothing on the way down).
+    cache_.SetEventSink(nullptr);
+    if (options_.persist_snapshot_on_shutdown && !persist_->crashed()) {
+      (void)SnapshotNow(/*only_if_idle=*/false);
+    }
+    persist_.reset();
+  }
   engine_->pool().UnbindMetrics(metrics_);
+}
+
+void ChunkCacheManager::RecoverPersistedCache() {
+  if (options_.persist_dir.empty()) return;
+  storage::PersistOptions popts;
+  popts.dir = options_.persist_dir;
+  popts.wal_fsync_every = options_.persist_wal_fsync_every;
+  auto opened = storage::CachePersistence::Open(std::move(popts), metrics_);
+  CHUNKCACHE_CHECK_MSG(opened.ok(), "persist_dir is unusable");
+  persist_ = std::move(*opened);
+  storage::RecoveryStats rec = persist_->TakeRecovery();
+  // Re-admit every recovered entry through the normal Insert path so the
+  // byte budget, replacement policy and shard accounting all see it. Each
+  // blob is decode-verified (its CRC32C trailer) before anything can be
+  // served from it; a failed decode quarantines the entry — dropped and
+  // counted, recomputed on first use — never a construction failure.
+  for (storage::PersistedChunk& pc : rec.entries) {
+    auto decoded =
+        storage::codec::DecodeAggColumns(pc.blob.data(), pc.blob.size());
+    if (!decoded.ok()) {
+      persist_->CountQuarantined();
+      rec.quarantined++;
+      continue;
+    }
+    auto entry = std::make_shared<cache::CachedChunk>();
+    entry->group_by_id = pc.group_by_id;
+    entry->chunk_num = pc.chunk_num;
+    entry->filter_hash = pc.filter_hash;
+    entry->benefit = pc.benefit;
+    if (options_.enable_compression && pc.blob.size() < pc.raw_bytes) {
+      // Compressed tier: keep the codec blob verbatim (same bytes PR 6
+      // admitted), charging encoded size as usual.
+      entry->encoded_rows = static_cast<uint32_t>(decoded->size());
+      entry->raw_bytes = pc.raw_bytes;
+      entry->cols = storage::AggColumns(decoded->num_dims());
+      entry->encoded = std::move(pc.blob);
+    } else {
+      entry->cols = std::move(*decoded);
+    }
+    cache_.Insert(std::move(entry));
+  }
+  rec.entries.clear();
+  {
+    std::lock_guard<std::mutex> lock(benefit_mu_);
+    for (const auto& [gb, v] : rec.benefit_ewma) {
+      if (gb < benefit_ewma_.size()) {
+        benefit_ewma_[gb] = v;
+        benefit_seen_[gb] = 1;
+      }
+    }
+  }
+  recovery_info_ = std::move(rec);
+  // Only now start logging: the recovered admissions above are already
+  // durable, re-logging them would just bloat the fresh WAL generation.
+  persist_sink_ = std::make_unique<PersistSink>(this);
+  cache_.SetEventSink(persist_sink_.get());
+}
+
+storage::PersistedChunk ChunkCacheManager::ToPersisted(
+    const cache::CachedChunk& entry) const {
+  storage::PersistedChunk out;
+  out.group_by_id = entry.group_by_id;
+  out.chunk_num = entry.chunk_num;
+  out.filter_hash = entry.filter_hash;
+  out.benefit = entry.benefit;
+  out.rows = static_cast<uint32_t>(entry.rows());
+  if (entry.compressed()) {
+    out.blob = entry.encoded;
+    out.raw_bytes = entry.raw_bytes;
+  } else {
+    out.raw_bytes = storage::codec::RawPayloadBytes(entry.cols);
+    storage::codec::EncodeAggColumns(entry.cols, &out.blob);
+  }
+  return out;
+}
+
+Status ChunkCacheManager::PersistSnapshot() {
+  return SnapshotNow(/*only_if_idle=*/false);
+}
+
+void ChunkCacheManager::MaybeAutoSnapshot() {
+  if (persist_ == nullptr || options_.persist_snapshot_every == 0) return;
+  if (persist_->wal_records_since_snapshot() <
+      options_.persist_snapshot_every) {
+    return;
+  }
+  (void)SnapshotNow(/*only_if_idle=*/true);
+}
+
+Status ChunkCacheManager::SnapshotNow(bool only_if_idle) {
+  if (persist_ == nullptr) return Status::OK();
+  return persist_->WriteSnapshot(
+      [this](std::vector<storage::PersistedChunk>* out) {
+        cache_.ForEachEntry([this, out](const cache::ChunkHandle& h) {
+          out->push_back(ToPersisted(*h));
+        });
+      },
+      [this](std::vector<std::pair<uint32_t, double>>* out) {
+        std::lock_guard<std::mutex> lock(benefit_mu_);
+        for (uint32_t gb = 0; gb < benefit_ewma_.size(); ++gb) {
+          if (benefit_seen_[gb] != 0) {
+            out->emplace_back(gb, benefit_ewma_[gb]);
+          }
+        }
+      },
+      only_if_idle);
 }
 
 void ChunkCacheManager::DrainPrefetch() { prefetch_wg_.Wait(); }
@@ -144,6 +285,13 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   metrics_->GetGauge("disk.checksum_failures")
       ->Set(static_cast<int64_t>(
           engine_->pool().disk()->stats().checksum_failures));
+  metrics_->GetGauge("disk.write_errors")
+      ->Set(static_cast<int64_t>(
+          engine_->pool().disk()->stats().write_errors));
+  if (persist_ != nullptr) {
+    metrics_->GetGauge("persist.recovery_ns")
+        ->Set(static_cast<int64_t>(recovery_info_.recovery_ns));
+  }
   // Active SIMD dispatch level (0 = scalar, 1 = avx2), so exported metrics
   // record which kernel family produced this process's numbers.
   metrics_->GetGauge("simd.level")
@@ -192,6 +340,19 @@ cache::ChunkCacheStats ChunkCacheManager::StatsSnapshot() const {
   s.decoded_lru_hits = snap.counter("cache.decoded_lru_hits");
   s.decoded_lru_evictions = snap.counter("cache.decoded_lru_evictions");
   s.simd_level = static_cast<uint64_t>(snap.gauge("simd.level"));
+  s.persist_wal_records = snap.counter("persist.wal_records");
+  s.persist_wal_bytes = snap.counter("persist.wal_bytes");
+  s.persist_wal_errors = snap.counter("persist.wal_errors");
+  s.persist_snapshots = snap.counter("persist.snapshots");
+  s.persist_snapshot_bytes = snap.counter("persist.snapshot_bytes");
+  s.persist_snapshot_errors = snap.counter("persist.snapshot_errors");
+  s.persist_recovered_entries = snap.counter("persist.recovered_entries");
+  s.persist_replayed_records = snap.counter("persist.replayed_records");
+  s.persist_truncated_bytes = snap.counter("persist.truncated_bytes");
+  s.persist_quarantined = snap.counter("persist.quarantined");
+  s.persist_recovery_ns =
+      static_cast<uint64_t>(snap.gauge("persist.recovery_ns"));
+  s.disk_write_errors = static_cast<uint64_t>(snap.gauge("disk.write_errors"));
   return s;
 }
 
@@ -837,14 +998,24 @@ void ChunkCacheManager::RecordRecompute(uint32_t gb_id, uint64_t total_ns,
   recompute_ns_->Record(per_chunk_ns);
   if (!measured_benefit_) return;
   constexpr double kAlpha = 0.25;  // EWMA smoothing
-  std::lock_guard<std::mutex> lock(benefit_mu_);
-  if (gb_id >= benefit_ewma_.size()) return;
-  const double sample = static_cast<double>(per_chunk_ns);
-  if (benefit_seen_[gb_id] == 0) {
-    benefit_ewma_[gb_id] = sample;
-    benefit_seen_[gb_id] = 1;
-  } else {
-    benefit_ewma_[gb_id] += kAlpha * (sample - benefit_ewma_[gb_id]);
+  double updated;
+  {
+    std::lock_guard<std::mutex> lock(benefit_mu_);
+    if (gb_id >= benefit_ewma_.size()) return;
+    const double sample = static_cast<double>(per_chunk_ns);
+    if (benefit_seen_[gb_id] == 0) {
+      benefit_ewma_[gb_id] = sample;
+      benefit_seen_[gb_id] = 1;
+    } else {
+      benefit_ewma_[gb_id] += kAlpha * (sample - benefit_ewma_[gb_id]);
+    }
+    updated = benefit_ewma_[gb_id];
+  }
+  // WAL the cost model too (outside benefit_mu_): a warm restart resumes
+  // with the learned recompute costs instead of relearning from scratch.
+  if (persist_ != nullptr) {
+    persist_->LogBenefit(gb_id, updated);
+    MaybeAutoSnapshot();
   }
 }
 

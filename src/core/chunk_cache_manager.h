@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/middle_tier.h"
+#include "storage/cache_persist.h"
 #include "storage/codec.h"
 
 namespace chunkcache::core {
@@ -128,6 +129,28 @@ struct ChunkManagerOptions {
   /// same chunk decode once. 0 disables the front (every hit decodes).
   uint64_t decoded_cache_bytes = 4ull << 20;
 
+  /// Crash-safe persistent cache (DESIGN.md §14). When non-empty, the
+  /// cache's contents and benefit metadata live in this directory as
+  /// generation-numbered snapshots plus a CRC32C-framed WAL of
+  /// admissions/evictions/benefit updates. Construction recovers: newest
+  /// readable snapshot + WAL replay, torn tails truncated, corrupt
+  /// entries quarantined (dropped + counted, never served), then traffic
+  /// is served warm — bit-identical to a cold run, since cache warmth
+  /// never changes answers. Empty = no persistence (today's behavior).
+  std::string persist_dir;
+
+  /// WAL records between automatic snapshots (0 = snapshot only on
+  /// explicit PersistSnapshot() calls and at clean shutdown).
+  uint64_t persist_snapshot_every = 4096;
+
+  /// WAL records per fsync (1 = every record — full durability; 0 =
+  /// never fsync; N amortizes, risking the last < N records on a crash).
+  uint64_t persist_wal_fsync_every = 1;
+
+  /// Write a final snapshot in the destructor so a clean shutdown
+  /// restarts from a snapshot instead of a long WAL replay.
+  bool persist_snapshot_on_shutdown = true;
+
   /// Per-query trace spans retained in a ring buffer (0 = tracing off).
   /// When off, every trace hook in Execute is a disarmed branch-and-return
   /// (bench_observability measures both modes).
@@ -200,6 +223,20 @@ class ChunkCacheManager final : public MiddleTier {
 
   /// Shared-scan scheduler; null when miss coalescing is disabled.
   backend::ScanScheduler* scan_scheduler() { return scheduler_.get(); }
+
+  /// Writes a cache snapshot generation now (rotate WAL, shadow file,
+  /// atomic rename, GC). No-op without persist_dir. Exposed so operators
+  /// (shell) and tests can force a generation boundary.
+  Status PersistSnapshot();
+
+  /// Persistence subsystem; null when persist_dir is empty.
+  storage::CachePersistence* persistence() { return persist_.get(); }
+
+  /// What recovery found at construction (entry payloads excluded — they
+  /// went into the cache). All-zero without persist_dir.
+  const storage::RecoveryStats& recovery_stats() const {
+    return recovery_info_;
+  }
 
   /// Signature of a query's non-group-by predicate list; part of every
   /// cached chunk's identity (0 = no predicates). Exposed for tests.
@@ -274,6 +311,27 @@ class ChunkCacheManager final : public MiddleTier {
   /// measured per-chunk recompute ns once a sample exists.
   double InsertBenefit(uint32_t gb_id, double static_benefit) const;
 
+  /// Cache entry -> durable form: compressed entries persist their codec
+  /// blob verbatim; raw entries encode here (the blob self-checksums).
+  storage::PersistedChunk ToPersisted(const cache::CachedChunk& entry) const;
+
+  /// Recovery half of the warm-restart path: opens the persistence
+  /// subsystem, re-admits every recovered entry through the normal Insert
+  /// path (decode-verifying each blob; failures are quarantined), restores
+  /// the benefit EWMA table, and only then installs the WAL event sink so
+  /// recovered state isn't re-logged.
+  void RecoverPersistedCache();
+
+  /// Auto-snapshot trigger, called by the event sink after each logged
+  /// event; snapshots inline (try-lock, so concurrent triggers skip) once
+  /// persist_snapshot_every records accumulate.
+  void MaybeAutoSnapshot();
+
+  /// Shared body of PersistSnapshot / MaybeAutoSnapshot: gathers entries
+  /// via ForEachEntry (one shard lock at a time) and the EWMA table under
+  /// benefit_mu_, both inside the persistence rotate-then-gather protocol.
+  Status SnapshotNow(bool only_if_idle);
+
   backend::BackendEngine* engine_;
   ChunkManagerOptions options_;
   // Declared before cache_: the cache (and scheduler) home their
@@ -330,6 +388,14 @@ class ChunkCacheManager final : public MiddleTier {
   mutable std::mutex benefit_mu_;
   std::vector<double> benefit_ewma_;
   std::vector<uint8_t> benefit_seen_;
+
+  // Crash-safe persistence (persist_dir option). The sink is detached from
+  // the cache before persist_ is destroyed (see the destructor), so no
+  // event can reach a dead WAL writer.
+  class PersistSink;
+  std::unique_ptr<storage::CachePersistence> persist_;
+  std::unique_ptr<PersistSink> persist_sink_;
+  storage::RecoveryStats recovery_info_;
 
   WaitGroup prefetch_wg_;
   // Declared last: destroyed first, so in-flight tasks that capture `this`

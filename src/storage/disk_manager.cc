@@ -172,7 +172,14 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
 }
 
 FileDiskManager::~FileDiskManager() {
-  (void)SaveDirectory();
+  // A destructor cannot return a Status, but a failed final flush must not
+  // vanish: it is counted (disk.write_errors via Sync -> CountWriteError)
+  // and reported, so tests and operators can see the file may be stale.
+  Status s = Sync();
+  if (!s.ok()) {
+    std::fprintf(stderr, "FileDiskManager: final sync failed: %s\n",
+                 s.message().c_str());
+  }
   ::close(fd_);
 }
 
@@ -248,7 +255,19 @@ Status FileDiskManager::SaveDirectory() {
   return PWritePage(fd_, 0, super);
 }
 
-Status FileDiskManager::Sync() { return SaveDirectory(); }
+Status FileDiskManager::Sync() {
+  Status s = SaveDirectory();
+  if (!s.ok()) {
+    CountWriteError();
+    return s;
+  }
+  if (::fsync(fd_) != 0) {
+    CountWriteError();
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 uint32_t FileDiskManager::CreateFile() {
   directory_.emplace_back();
@@ -264,7 +283,11 @@ Result<PageId> FileDiskManager::AllocatePage(uint32_t file_id) {
   const uint64_t slot = next_slot_++;
   Page zero;
   zero.Zero();
-  CHUNKCACHE_RETURN_IF_ERROR(PWritePage(fd_, slot, zero));
+  Status ws = PWritePage(fd_, slot, zero);
+  if (!ws.ok()) {
+    CountWriteError();
+    return ws;
+  }
   pages.push_back(slot);
   const PageId id{file_id, static_cast<uint32_t>(pages.size() - 1)};
   RecordPageChecksum(id, zero);
@@ -300,7 +323,11 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
     return Status::IoError("WritePage: page beyond EOF");
   }
   CountWrite();
-  CHUNKCACHE_RETURN_IF_ERROR(PWritePage(fd_, pages[id.page_no], page));
+  Status ws = PWritePage(fd_, pages[id.page_no], page);
+  if (!ws.ok()) {
+    CountWriteError();
+    return ws;
+  }
   RecordPageChecksum(id, page);
   return Status::OK();
 }

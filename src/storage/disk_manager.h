@@ -21,6 +21,9 @@ struct DiskStats {
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t checksum_failures = 0;
+  /// Short writes and failed fsyncs, surfaced as Status::IoError (never
+  /// swallowed) and counted here -> "disk.write_errors" on the registry.
+  uint64_t write_errors = 0;
 };
 
 /// Abstraction over the physical page store. One DiskManager hosts many
@@ -75,6 +78,10 @@ class DiskManager {
   void CountAllocation() {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.allocations;
+  }
+  void CountWriteError() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.write_errors;
   }
 
   /// End-to-end page integrity: WritePage records a CRC32C of the payload
@@ -134,7 +141,9 @@ class FileDiskManager final : public DiskManager {
   Status WritePage(PageId id, const Page& page) override;
   uint32_t FilePageCount(uint32_t file_id) const override;
 
-  /// Flushes the page directory so a re-open sees all logical files.
+  /// Flushes the page directory and fsyncs the backing file so a re-open
+  /// sees all logical files. Short writes and a failed fsync both surface
+  /// as Status::IoError (and count in DiskStats::write_errors).
   Status Sync();
 
  private:

@@ -1,0 +1,439 @@
+// Serving-layer benchmark: calibrates the tier's closed-loop capacity,
+// then sweeps open-loop arrival rates at 0.5x / 1x / 2x / 4x of it against
+// a ChunkServer whose admission is sized to that capacity. Reports per
+// point: offered / ok / shed / errors (with the exact-accounting check
+// offered == ok + shed + errors read from the server registry), the shed
+// fraction, client-observed p50/p99/p999 latency of admitted queries, and
+// the cache hit ratio of the work that was admitted. A separate identity
+// pass verifies that served responses hash-identical to in-process
+// execution of the same seeded session stream. Writes BENCH_serving.json
+// (schema-checked in CI with a shed-accounting floor).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/experiment.h"
+#include "core/chunk_cache_manager.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "workload/session_generator.h"
+
+namespace chunkcache::bench {
+namespace {
+
+using core::ChunkCacheManager;
+using core::ChunkManagerOptions;
+using server::ChunkClient;
+using server::ChunkServer;
+using server::ClientOptions;
+using server::ServerOptions;
+
+constexpr uint32_t kNumTenants = 2;
+constexpr uint32_t kServerWorkers = 4;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ChunkManagerOptions TierOptions() {
+  ChunkManagerOptions mopts;
+  mopts.num_workers = 2;
+  mopts.cache_shards = 8;
+  return mopts;
+}
+
+/// Pre-generates the session stream once: every phase replays the same
+/// queries in the same order (SessionStreamHash pins the stream; the JSON
+/// records it so runs are comparable).
+std::vector<backend::StarJoinQuery> MakeStream(schema::StarSchema* schema,
+                                               uint64_t n) {
+  workload::SessionOptions wopts;
+  wopts.seed = 11;
+  workload::SessionGenerator gen(schema, wopts);
+  std::vector<backend::StarJoinQuery> stream;
+  stream.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) stream.push_back(gen.Next());
+  return stream;
+}
+
+/// Closed-loop capacity: kServerWorkers threads execute the stream
+/// back-to-back through the server (no admission limits); capacity is the
+/// aggregate completed qps. This is the number the open-loop sweep's
+/// multipliers are relative to.
+Result<double> MeasureCapacity(System& system,
+                               const std::vector<backend::StarJoinQuery>& stream) {
+  ChunkCacheManager tier(&system.engine(), TierOptions());
+  ServerOptions sopts;
+  sopts.num_workers = kServerWorkers;
+  ChunkServer srv(&tier, sopts);
+  CHUNKCACHE_RETURN_IF_ERROR(srv.Start());
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> done{0};
+  std::atomic<bool> failed{false};
+  const double start = NowSeconds();
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kServerWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.port = srv.port();
+      copts.tenant_id = t % kNumTenants;
+      auto client = ChunkClient::Connect(copts);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= stream.size()) return;
+        auto resp = (*client)->Execute(stream[i]);
+        if (!resp.ok() || !resp->status.ok()) {
+          failed.store(true);
+          return;
+        }
+        done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double elapsed = NowSeconds() - start;
+  srv.Stop();
+  if (failed.load()) return Status::Internal("capacity run saw failures");
+  if (elapsed <= 0 || done.load() == 0) {
+    return Status::Internal("capacity run completed no queries");
+  }
+  return static_cast<double>(done.load()) / elapsed;
+}
+
+/// Served-vs-direct identity over the stream prefix: hashes must match
+/// query for query, compression on or off upstream of the wire.
+Result<bool> CheckIdentity(System& system,
+                           const std::vector<backend::StarJoinQuery>& stream,
+                           uint64_t n) {
+  ChunkCacheManager direct_tier(&system.engine(), TierOptions());
+  ChunkCacheManager served_tier(&system.engine(), TierOptions());
+  ServerOptions sopts;
+  sopts.num_workers = 2;
+  sopts.result_batch_bytes = 8 * server::wire::kRowBytes + 4;  // multi-frame
+  ChunkServer srv(&served_tier, sopts);
+  CHUNKCACHE_RETURN_IF_ERROR(srv.Start());
+  ClientOptions copts;
+  copts.port = srv.port();
+  auto client = ChunkClient::Connect(copts);
+  if (!client.ok()) return client.status();
+  bool identical = true;
+  for (uint64_t i = 0; i < n && i < stream.size(); ++i) {
+    core::QueryStats stats;
+    auto direct = direct_tier.Execute(stream[i], &stats);
+    if (!direct.ok()) return direct.status();
+    auto resp = (*client)->Execute(stream[i]);
+    if (!resp.ok()) return resp.status();
+    if (!resp->status.ok()) return resp->status;
+    if (server::wire::HashRows(resp->rows) !=
+        server::wire::HashRows(*direct)) {
+      identical = false;
+      std::fprintf(stderr, "identity mismatch on query %llu\n",
+                   static_cast<unsigned long long>(i));
+    }
+  }
+  srv.Stop();
+  return identical;
+}
+
+struct SweepPoint {
+  double multiplier = 0;
+  double offered_qps = 0;
+  uint64_t offered = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  bool accounting_exact = false;
+  double shed_fraction = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double hit_ratio = 0;
+};
+
+double Percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// One open-loop point: per tenant, a sender paces arrivals on the fixed
+/// schedule while a reader drains responses and times admitted queries.
+Result<SweepPoint> RunSweepPoint(System& system,
+                                 const std::vector<backend::StarJoinQuery>& stream,
+                                 double capacity_qps, double multiplier,
+                                 uint64_t queries_per_tenant) {
+  SweepPoint point;
+  point.multiplier = multiplier;
+  point.offered_qps = capacity_qps * multiplier;
+
+  // Fresh tier + server per point: counters start at zero, the cache
+  // starts cold, points are independent.
+  ChunkCacheManager tier(&system.engine(), TierOptions());
+  ServerOptions sopts;
+  sopts.num_workers = kServerWorkers;
+  // Admission sized to capacity: the per-tenant sustained rate sums to
+  // ~1x capacity, so multiplier m offers m times what admission allows
+  // and the shed fraction should approach 1 - 1/m for m > 1.
+  sopts.admission.default_quota.rate_qps =
+      capacity_qps / static_cast<double>(kNumTenants);
+  sopts.admission.default_quota.burst =
+      std::max(1.0, sopts.admission.default_quota.rate_qps / 10.0);
+  sopts.admission.global_max_inflight = 4 * kServerWorkers;
+  ChunkServer srv(&tier, sopts);
+  CHUNKCACHE_RETURN_IF_ERROR(srv.Start());
+
+  const double per_tenant_qps =
+      point.offered_qps / static_cast<double>(kNumTenants);
+  const auto interarrival = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      per_tenant_qps > 0 ? 1.0 / per_tenant_qps : 0.001));
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> ok{0}, shed{0}, errors{0};
+  std::atomic<uint64_t> hit_chunks{0}, needed_chunks{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms;
+
+  std::vector<std::thread> tenants;
+  for (uint32_t t = 0; t < kNumTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.port = srv.port();
+      copts.tenant_id = t + 1;
+      copts.recv_timeout_ms = 60000;
+      auto client = ChunkClient::Connect(copts);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      // send_at[i] is request id i+1's send timestamp (ids are sequential
+      // on a fresh client), written by the sender before the reader can
+      // see that id's response.
+      std::vector<double> send_at(queries_per_tenant, 0);
+      std::atomic<uint64_t> sent{0};
+      std::thread sender([&] {
+        const auto start = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < queries_per_tenant; ++i) {
+          std::this_thread::sleep_until(start + interarrival * i);
+          send_at[i] = NowSeconds();
+          auto id = (*client)->SendQuery(
+              stream[(t * queries_per_tenant + i) % stream.size()]);
+          if (!id.ok()) {
+            failed.store(true);
+            return;
+          }
+          sent.fetch_add(1, std::memory_order_release);
+        }
+      });
+      // Reader drains in id order; admitted responses complete roughly in
+      // admission order (one FIFO pool), sheds resolve from the stash.
+      uint64_t next_id = 1;
+      std::vector<double> local_lat;
+      while (true) {
+        const uint64_t limit = sent.load(std::memory_order_acquire);
+        if (next_id > limit) {
+          if (limit >= queries_per_tenant || failed.load()) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        auto resp = (*client)->WaitResponse(next_id);
+        if (!resp.ok()) {
+          failed.store(true);
+          break;
+        }
+        const double lat_ms =
+            (NowSeconds() - send_at[next_id - 1]) * 1000.0;
+        if (resp->status.ok()) {
+          ok.fetch_add(1);
+          local_lat.push_back(lat_ms);
+          hit_chunks.fetch_add(resp->summary.chunks_from_cache +
+                               resp->summary.chunks_from_aggregation);
+          needed_chunks.fetch_add(resp->summary.chunks_needed);
+        } else if (resp->shed) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+        ++next_id;
+      }
+      sender.join();
+      // Drain anything sent after the reader's last limit check.
+      for (; next_id <= sent.load(); ++next_id) {
+        auto resp = (*client)->WaitResponse(next_id);
+        if (!resp.ok()) {
+          failed.store(true);
+          break;
+        }
+        if (resp->status.ok()) {
+          ok.fetch_add(1);
+          local_lat.push_back((NowSeconds() - send_at[next_id - 1]) * 1000.0);
+          hit_chunks.fetch_add(resp->summary.chunks_from_cache +
+                               resp->summary.chunks_from_aggregation);
+          needed_chunks.fetch_add(resp->summary.chunks_needed);
+        } else if (resp->shed) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies_ms.insert(latencies_ms.end(), local_lat.begin(),
+                          local_lat.end());
+    });
+  }
+  for (auto& th : tenants) th.join();
+  if (failed.load()) {
+    srv.Stop();
+    return Status::Internal("sweep point saw transport failures");
+  }
+
+  const auto snap = srv.metrics().TakeSnapshot();
+  point.offered = snap.counter("server.queries.offered");
+  point.ok = snap.counter("server.queries.ok");
+  point.shed = snap.counter("server.queries.shed");
+  point.errors = snap.counter("server.queries.errors");
+  point.accounting_exact =
+      point.offered == point.ok + point.shed + point.errors &&
+      point.offered == queries_per_tenant * kNumTenants &&
+      point.ok == ok.load() && point.shed == shed.load() &&
+      point.errors == errors.load();
+  point.shed_fraction =
+      point.offered == 0
+          ? 0
+          : static_cast<double>(point.shed) / static_cast<double>(point.offered);
+  point.p50_ms = Percentile(latencies_ms, 0.50);
+  point.p99_ms = Percentile(latencies_ms, 0.99);
+  point.p999_ms = Percentile(latencies_ms, 0.999);
+  point.hit_ratio = needed_chunks.load() == 0
+                        ? 0
+                        : static_cast<double>(hit_chunks.load()) /
+                              static_cast<double>(needed_chunks.load());
+  srv.Stop();
+  return point;
+}
+
+Status Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  PrintSetup(config, "Serving layer: open-loop overload sweep");
+
+  auto system = System::Build(config);
+  CHUNKCACHE_RETURN_IF_ERROR(system.status());
+
+  const uint64_t stream_n =
+      std::max<uint64_t>(64, std::min<uint64_t>(config.stream_queries, 512));
+  const auto stream = MakeStream(&(*system)->schema(), stream_n);
+  workload::SessionOptions wopts;
+  wopts.seed = 11;
+  const uint64_t stream_hash =
+      workload::SessionStreamHash((*system)->schema(), wopts, stream_n);
+
+  // Identity first (also warms nothing: fresh tiers, then discarded).
+  auto identity =
+      CheckIdentity(**system, stream, std::min<uint64_t>(stream_n, 48));
+  CHUNKCACHE_RETURN_IF_ERROR(identity.status());
+
+  auto capacity = MeasureCapacity(**system, stream);
+  CHUNKCACHE_RETURN_IF_ERROR(capacity.status());
+  std::printf("closed-loop capacity: %.1f qps (%u workers)\n", *capacity,
+              kServerWorkers);
+
+  const uint64_t queries_per_tenant = std::max<uint64_t>(
+      80, std::min<uint64_t>(config.stream_queries / kNumTenants, 240));
+  const double multipliers[] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<SweepPoint> points;
+  std::printf("%6s %9s %8s %6s %6s %7s %10s %9s %9s %9s %6s\n", "mult",
+              "offered/s", "offered", "ok", "shed", "errors", "shed_frac",
+              "p50_ms", "p99_ms", "p999_ms", "hit");
+  for (const double m : multipliers) {
+    auto point =
+        RunSweepPoint(**system, stream, *capacity, m, queries_per_tenant);
+    CHUNKCACHE_RETURN_IF_ERROR(point.status());
+    points.push_back(*point);
+    std::printf("%6.1f %9.1f %8llu %6llu %6llu %7llu %10.3f %9.2f %9.2f "
+                "%9.2f %6.3f%s\n",
+                point->multiplier, point->offered_qps,
+                static_cast<unsigned long long>(point->offered),
+                static_cast<unsigned long long>(point->ok),
+                static_cast<unsigned long long>(point->shed),
+                static_cast<unsigned long long>(point->errors),
+                point->shed_fraction, point->p50_ms, point->p99_ms,
+                point->p999_ms, point->hit_ratio,
+                point->accounting_exact ? "" : "  ACCOUNTING MISMATCH");
+  }
+
+  std::FILE* out = std::fopen("BENCH_serving.json", "w");
+  if (out == nullptr) return Status::IoError("cannot write BENCH_serving.json");
+  std::fprintf(out,
+               "{\n  \"bench\": \"serving\",\n  \"num_tuples\": %llu,\n"
+               "  \"stream_queries\": %llu,\n"
+               "  \"session_stream_hash\": \"%016llx\",\n"
+               "  \"capacity_qps\": %.2f,\n  \"num_tenants\": %u,\n"
+               "  \"server_workers\": %u,\n  \"identity\": %s,\n"
+               "  \"sweep\": [\n",
+               static_cast<unsigned long long>(config.num_tuples),
+               static_cast<unsigned long long>(stream_n),
+               static_cast<unsigned long long>(stream_hash), *capacity,
+               kNumTenants, kServerWorkers, *identity ? "true" : "false");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"multiplier\": %.2f, \"offered_qps\": %.2f, "
+                 "\"offered\": %llu, \"ok\": %llu, \"shed\": %llu, "
+                 "\"errors\": %llu, \"accounting_exact\": %s, "
+                 "\"shed_fraction\": %.4f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                 "\"hit_ratio\": %.4f}%s\n",
+                 p.multiplier, p.offered_qps,
+                 static_cast<unsigned long long>(p.offered),
+                 static_cast<unsigned long long>(p.ok),
+                 static_cast<unsigned long long>(p.shed),
+                 static_cast<unsigned long long>(p.errors),
+                 p.accounting_exact ? "true" : "false", p.shed_fraction,
+                 p.p50_ms, p.p99_ms, p.p999_ms, p.hit_ratio,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_serving.json\n");
+
+  if (!*identity) return Status::Internal("served results diverged");
+  for (const SweepPoint& p : points) {
+    if (!p.accounting_exact) {
+      return Status::Internal("shed accounting not exact at multiplier " +
+                              std::to_string(p.multiplier));
+    }
+  }
+  if (points.back().shed == 0) {
+    return Status::Internal("no sheds at 4x capacity: admission inert");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace chunkcache::bench
+
+int main() {
+  const chunkcache::Status s = chunkcache::bench::Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_serving failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,12 @@
 //   chunkcache> .schema
 //   chunkcache> .cache
 //   chunkcache> .quit
+//
+// Server mode (DESIGN.md §15) — instead of the REPL, expose the same tier
+// over the binary-framed TCP protocol until stdin reaches EOF:
+//
+//   $ ./shell --serve            # ephemeral port, printed on startup
+//   $ ./shell --serve=7437 --rate-qps=200 --max-deadline-ms=500
 
 #include <cstdio>
 #include <iostream>
@@ -21,6 +27,7 @@
 #include "core/chunk_cache_manager.h"
 #include "core/multi_range.h"
 #include "schema/synthetic.h"
+#include "server/server.h"
 #include "sql/parser.h"
 #include "storage/buffer_pool.h"
 #include "storage/codec.h"
@@ -70,9 +77,23 @@ int main(int argc, char** argv) {
   std::vector<std::string> ghosts;
   std::string persist_dir;
   uint64_t snapshot_every = 4096;
+  bool serve = false;
+  uint16_t serve_port = 0;
+  double rate_qps = 0;
+  uint64_t max_deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--compress") {
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve = true;
+      serve_port = static_cast<uint16_t>(
+          std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--rate-qps=", 0) == 0) {
+      rate_qps = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--max-deadline-ms=", 0) == 0) {
+      max_deadline_ms = std::strtoull(arg.c_str() + 18, nullptr, 10);
+    } else if (arg == "--compress") {
       compress = true;
     } else if (arg.rfind("--policy=", 0) == 0) {
       policy = arg.substr(9);
@@ -164,6 +185,37 @@ int main(int argc, char** argv) {
   mopts.persist_snapshot_every = snapshot_every;
   core::ChunkCacheManager tier(&engine, mopts);
   sql::SqlParser parser(schema.get());
+
+  if (serve) {
+    server::ServerOptions sopts;
+    sopts.port = serve_port;
+    sopts.admission.default_quota.rate_qps = rate_qps;
+    sopts.max_deadline_ms = max_deadline_ms;
+    // Home the server's counters on the tier's registry so one .metrics-
+    // style dump (the kMetricsRequest frame) covers cache + serving.
+    sopts.metrics = &tier.metrics();
+    server::ChunkServer srv(&tier, sopts);
+    const Status st = srv.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("chunkcache serving %llu synthetic sales facts on "
+                "%s:%u (tenant rate %s, deadline cap %s) — EOF stops.\n",
+                (unsigned long long)tuples, sopts.bind_address.c_str(),
+                srv.port(),
+                rate_qps > 0 ? (std::to_string(rate_qps) + " qps").c_str()
+                             : "unlimited",
+                max_deadline_ms > 0
+                    ? (std::to_string(max_deadline_ms) + " ms").c_str()
+                    : "none");
+    std::fflush(stdout);
+    std::string l;
+    while (std::getline(std::cin, l)) {
+    }
+    srv.Stop();
+    return 0;
+  }
 
   std::printf("chunkcache shell — %llu synthetic sales facts loaded.\n",
               (unsigned long long)tuples);

@@ -193,6 +193,15 @@ class ChunkCacheManager final : public MiddleTier {
       const backend::StarJoinQuery& query, QueryStats* stats,
       const ExecControl& ctrl);
 
+  /// MiddleTier control hook: forwards to the ExecControl overload, so the
+  /// serving layer's deadline/cancellation reach the full PR 4 plumbing
+  /// (claim time, backend computation, scan admission, coalesced waits).
+  Result<std::vector<backend::ResultRow>> ExecuteWithControl(
+      const backend::StarJoinQuery& query, QueryStats* stats,
+      const ExecControl& ctrl) override {
+    return Execute(query, stats, ctrl);
+  }
+
   std::string name() const override { return "chunk-cache"; }
 
   cache::ChunkCache& chunk_cache() { return cache_; }

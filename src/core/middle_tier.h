@@ -7,6 +7,7 @@
 
 #include "backend/star_join_query.h"
 #include "common/cost_model.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace chunkcache::core {
@@ -93,6 +94,18 @@ class MiddleTier {
   /// canonically and exactly filtered to the query's selection.
   virtual Result<std::vector<backend::ResultRow>> Execute(
       const backend::StarJoinQuery& query, QueryStats* stats) = 0;
+
+  /// Execute with per-query control (deadline, cancellation). The serving
+  /// layer maps a frame-header deadline onto `ctrl` and cancels in-flight
+  /// work when the client's connection drops. The default implementation
+  /// ignores `ctrl`, so tiers without deadline plumbing stay correct —
+  /// they just cannot be cut short.
+  virtual Result<std::vector<backend::ResultRow>> ExecuteWithControl(
+      const backend::StarJoinQuery& query, QueryStats* stats,
+      const ExecControl& ctrl) {
+    (void)ctrl;
+    return Execute(query, stats);
+  }
 
   virtual std::string name() const = 0;
 };

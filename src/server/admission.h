@@ -1,0 +1,102 @@
+#ifndef CHUNKCACHE_SERVER_ADMISSION_H_
+#define CHUNKCACHE_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/token_bucket.h"
+
+namespace chunkcache::server {
+
+/// Per-tenant admission limits. Zeroed fields mean "unlimited", so a
+/// default-constructed quota admits everything — rate limiting is opt-in.
+struct TenantQuota {
+  double rate_qps = 0;        ///< Sustained queries/second (0 = unlimited).
+  double burst = 0;           ///< Bucket depth (0 = max(1, rate_qps / 10)).
+  uint32_t max_inflight = 0;  ///< Concurrent admitted queries (0 = unlim).
+};
+
+struct AdmissionOptions {
+  /// Quota applied to any tenant without an explicit entry below.
+  TenantQuota default_quota;
+  /// Per-tenant overrides, keyed by the frame header's tenant id.
+  std::map<uint32_t, TenantQuota> tenant_quotas;
+  /// Cap on concurrently admitted queries across all tenants — the
+  /// server-wide overload backstop (0 = unlimited).
+  uint32_t global_max_inflight = 0;
+};
+
+/// Why a query was (not) admitted. Every shed reason maps to one
+/// RESOURCE_EXHAUSTED error frame; the enum keys the per-reason counters.
+enum class AdmitDecision : uint8_t {
+  kAdmitted = 0,
+  kShedRate,            ///< Tenant token bucket empty.
+  kShedTenantInflight,  ///< Tenant at its concurrency quota.
+  kShedGlobalInflight,  ///< Server at the global concurrency cap.
+};
+
+const char* AdmitDecisionName(AdmitDecision d);
+
+/// Multi-tenant admission: one token bucket + inflight count per tenant,
+/// plus a global inflight cap, all under one mutex (the hot path is a few
+/// arithmetic ops; the serving layer calls this once per query frame).
+///
+/// Time is an explicit nanosecond argument (see TokenBucket), so tests
+/// drive a synthetic clock and decisions are deterministic. Checks are
+/// ordered global cap -> tenant cap -> token bucket, and a shed never
+/// consumes tokens — a rejected burst does not also starve the tenant's
+/// future budget.
+///
+/// Metrics (on the registry passed in): server.admission.admitted plus one
+/// server.admission.shed_* counter per reason, an inflight gauge + peak,
+/// and per-tenant server.tenant.<id>.{admitted,shed} counters.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, MetricsRegistry* metrics);
+
+  AdmitDecision TryAdmit(uint32_t tenant_id, uint64_t now_ns);
+
+  /// Releases one admitted query's slot (tenant + global inflight).
+  void Release(uint32_t tenant_id);
+
+  uint32_t global_inflight() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Tenant {
+    explicit Tenant(const TenantQuota& q)
+        : quota(q),
+          bucket(q.rate_qps, q.burst > 0 ? q.burst
+                                         : (q.rate_qps > 0 ? q.rate_qps / 10
+                                                           : 1)) {}
+    TenantQuota quota;
+    TokenBucket bucket;
+    uint32_t inflight = 0;
+    Counter* admitted = nullptr;
+    Counter* shed = nullptr;
+  };
+
+  Tenant& GetTenantLocked(uint32_t tenant_id);
+
+  AdmissionOptions options_;
+  MetricsRegistry* metrics_;
+  Counter* admitted_;
+  Counter* shed_rate_;
+  Counter* shed_tenant_;
+  Counter* shed_global_;
+  Gauge* inflight_gauge_;
+  Gauge* inflight_peak_;
+
+  mutable std::mutex mu_;
+  uint32_t global_inflight_ = 0;
+  std::map<uint32_t, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace chunkcache::server
+
+#endif  // CHUNKCACHE_SERVER_ADMISSION_H_

@@ -1,0 +1,233 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace chunkcache::server {
+
+ChunkClient::ChunkClient(ClientOptions options, int fd)
+    : options_(std::move(options)),
+      fd_(fd),
+      reader_(options_.max_payload_bytes) {}
+
+ChunkClient::~ChunkClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<ChunkClient>> ChunkClient::Connect(
+    ClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_ms != 0) {
+    timeval tv{};
+    tv.tv_sec = options.recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return std::unique_ptr<ChunkClient>(
+      new ChunkClient(std::move(options), fd));
+}
+
+Status ChunkClient::WriteAll(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ChunkClient::SendRaw(const uint8_t* data, size_t len) {
+  return WriteAll(data, len);
+}
+
+Result<Frame> ChunkClient::ReadFrame() {
+  for (;;) {
+    auto next = reader_.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timeout waiting for frame");
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<uint64_t> ChunkClient::SendQuery(const backend::StarJoinQuery& query,
+                                        uint32_t deadline_ms) {
+  FrameHeader h;
+  h.type = FrameType::kQuery;
+  h.flags = kFlagLast;
+  h.tenant_id = options_.tenant_id;
+  h.deadline_ms = deadline_ms;
+  h.request_id = NextRequestId();
+  std::vector<uint8_t> payload;
+  wire::EncodeQuery(query, &payload);
+  std::vector<uint8_t> bytes;
+  EncodeFrame(h, payload.data(), payload.size(), &bytes);
+  CHUNKCACHE_RETURN_IF_ERROR(WriteAll(bytes.data(), bytes.size()));
+  return h.request_id;
+}
+
+Result<QueryResponse> ChunkClient::WaitResponse(uint64_t request_id) {
+  for (;;) {
+    auto stashed = stashed_.find(request_id);
+    if (stashed != stashed_.end()) {
+      QueryResponse resp = std::move(stashed->second);
+      stashed_.erase(stashed);
+      return resp;
+    }
+    auto frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    const FrameHeader& h = frame->header;
+    switch (h.type) {
+      case FrameType::kResultBatch: {
+        Status st = wire::DecodeRowBatch(frame->payload.data(),
+                                         frame->payload.size(),
+                                         &partial_[h.request_id]);
+        if (!st.ok()) return st;
+        break;
+      }
+      case FrameType::kDone: {
+        auto summary =
+            wire::DecodeDone(frame->payload.data(), frame->payload.size());
+        if (!summary.ok()) return summary.status();
+        QueryResponse resp;
+        resp.request_id = h.request_id;
+        auto rows_it = partial_.find(h.request_id);
+        if (rows_it != partial_.end()) {
+          resp.rows = std::move(rows_it->second);
+          partial_.erase(rows_it);
+        }
+        resp.summary = *summary;
+        if (resp.rows.size() != summary->total_rows ||
+            wire::HashRows(resp.rows) != summary->row_hash) {
+          resp.status = Status::Corruption(
+              "served rows disagree with the server's row hash");
+        }
+        stashed_.emplace(h.request_id, std::move(resp));
+        break;
+      }
+      case FrameType::kError: {
+        Status remote;
+        Status decode = wire::DecodeError(frame->payload.data(),
+                                          frame->payload.size(), &remote);
+        if (!decode.ok()) return decode;
+        QueryResponse resp;
+        resp.request_id = h.request_id;
+        resp.status = remote;
+        resp.shed = (h.flags & kFlagShed) != 0;
+        partial_.erase(h.request_id);
+        stashed_.emplace(h.request_id, std::move(resp));
+        break;
+      }
+      default:
+        return Status::Internal("unexpected frame type " +
+                                std::to_string(static_cast<int>(h.type)) +
+                                " while awaiting a query response");
+    }
+  }
+}
+
+Result<QueryResponse> ChunkClient::Execute(const backend::StarJoinQuery& query,
+                                           uint32_t deadline_ms) {
+  auto id = SendQuery(query, deadline_ms);
+  if (!id.ok()) return id.status();
+  return WaitResponse(*id);
+}
+
+Result<std::string> ChunkClient::FetchMetrics() {
+  FrameHeader h;
+  h.type = FrameType::kMetricsRequest;
+  h.flags = kFlagLast;
+  h.tenant_id = options_.tenant_id;
+  h.request_id = NextRequestId();
+  std::vector<uint8_t> bytes;
+  EncodeFrame(h, nullptr, 0, &bytes);
+  CHUNKCACHE_RETURN_IF_ERROR(WriteAll(bytes.data(), bytes.size()));
+  for (;;) {
+    auto frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->header.type == FrameType::kMetricsDump &&
+        frame->header.request_id == h.request_id) {
+      return std::string(frame->payload.begin(), frame->payload.end());
+    }
+    if (frame->header.type == FrameType::kError &&
+        frame->header.request_id == h.request_id) {
+      Status remote;
+      Status decode = wire::DecodeError(frame->payload.data(),
+                                        frame->payload.size(), &remote);
+      return decode.ok() ? remote : decode;
+    }
+    // A response for a pipelined query may interleave; FetchMetrics is only
+    // used on otherwise-quiet connections, so anything else is a protocol
+    // violation.
+    return Status::Internal("unexpected frame while awaiting metrics dump");
+  }
+}
+
+Status ChunkClient::Ping() {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  h.flags = kFlagLast;
+  h.tenant_id = options_.tenant_id;
+  h.request_id = NextRequestId();
+  std::vector<uint8_t> bytes;
+  EncodeFrame(h, nullptr, 0, &bytes);
+  CHUNKCACHE_RETURN_IF_ERROR(WriteAll(bytes.data(), bytes.size()));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type != FrameType::kPong ||
+      frame->header.request_id != h.request_id) {
+    return Status::Internal("ping answered by a non-pong frame");
+  }
+  return Status::OK();
+}
+
+void ChunkClient::CloseAbruptly() {
+  if (fd_ < 0) return;
+  linger lin{};
+  lin.l_onoff = 1;
+  lin.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace chunkcache::server

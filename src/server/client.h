@@ -1,0 +1,104 @@
+#ifndef CHUNKCACHE_SERVER_CLIENT_H_
+#define CHUNKCACHE_SERVER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/star_join_query.h"
+#include "common/status.h"
+#include "server/frame.h"
+#include "server/wire.h"
+
+namespace chunkcache::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t tenant_id = 0;
+  /// Same meaning as ServerOptions::max_payload_bytes, client side.
+  uint32_t max_payload_bytes = 1u << 20;
+  /// Receive timeout per recv() call; 0 = block forever.
+  uint32_t recv_timeout_ms = 30000;
+};
+
+/// One request's complete outcome as seen by the client.
+struct QueryResponse {
+  uint64_t request_id = 0;
+  Status status;     ///< OK, or the server's error (shed, deadline, ...).
+  bool shed = false; ///< Error frame carried kFlagShed (admission shed).
+  std::vector<backend::ResultRow> rows;
+  wire::DoneSummary summary;  ///< Valid when status is OK.
+};
+
+/// Blocking client for the ChunkServer protocol. Not thread-safe as a
+/// whole, but deliberately split into SendQuery / WaitResponse halves so an
+/// open-loop driver can pipeline: one thread sends on its schedule, one
+/// thread drains responses (each half is internally single-threaded).
+///
+/// WaitResponse verifies every completed result against the kDone frame's
+/// row hash (wire::HashRows) — a served result that differs by one bit from
+/// what the server computed fails with Corruption, which is what makes the
+/// bit-identity tests structural rather than statistical.
+class ChunkClient {
+ public:
+  ~ChunkClient();
+
+  ChunkClient(const ChunkClient&) = delete;
+  ChunkClient& operator=(const ChunkClient&) = delete;
+
+  static Result<std::unique_ptr<ChunkClient>> Connect(ClientOptions options);
+
+  /// Convenience: SendQuery + WaitResponse for that id.
+  Result<QueryResponse> Execute(const backend::StarJoinQuery& query,
+                                uint32_t deadline_ms = 0);
+
+  /// Writes one query frame; returns its request id immediately (pipelining
+  /// entry point). Fails only on transport errors.
+  Result<uint64_t> SendQuery(const backend::StarJoinQuery& query,
+                             uint32_t deadline_ms = 0);
+
+  /// Blocks until the response stream for `request_id` completes (kDone or
+  /// kError). Frames for other request ids arriving meanwhile are accrued
+  /// and their completed responses stashed for later WaitResponse calls.
+  Result<QueryResponse> WaitResponse(uint64_t request_id);
+
+  /// Requests and returns the server's metrics registry JSON dump.
+  Result<std::string> FetchMetrics();
+
+  Status Ping();
+
+  /// Writes raw bytes to the socket, bypassing the framing layer — the fuzz
+  /// tests use this to deliver truncated and corrupted frames.
+  Status SendRaw(const uint8_t* data, size_t len);
+
+  /// Kills the connection with an RST (SO_LINGER 0) instead of an orderly
+  /// close — the storm tests use this to model crashing clients.
+  void CloseAbruptly();
+
+  uint32_t tenant_id() const { return options_.tenant_id; }
+
+ private:
+  explicit ChunkClient(ClientOptions options, int fd);
+
+  /// Reads socket bytes into reader_ until at least one frame is parseable.
+  Result<Frame> ReadFrame();
+  Status WriteAll(const uint8_t* data, size_t len);
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+  ClientOptions options_;
+  int fd_;
+  FrameReader reader_;
+  uint64_t next_request_id_ = 1;
+  /// Responses completed while waiting for a different request id.
+  std::map<uint64_t, QueryResponse> stashed_;
+  /// Row accumulators for streams still in flight.
+  std::map<uint64_t, std::vector<backend::ResultRow>> partial_;
+};
+
+}  // namespace chunkcache::server
+
+#endif  // CHUNKCACHE_SERVER_CLIENT_H_

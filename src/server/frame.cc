@@ -1,0 +1,80 @@
+#include "server/frame.h"
+
+#include "common/crc32c.h"
+
+namespace chunkcache::server {
+
+void EncodeFrame(const FrameHeader& header, const uint8_t* payload,
+                 size_t payload_len, std::vector<uint8_t>* out) {
+  FrameHeader h = header;
+  h.payload_len = static_cast<uint32_t>(payload_len);
+  h.payload_crc = Crc32c(payload, payload_len);
+  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+  PutU32(out, kFrameMagic);
+  out->push_back(h.version);
+  out->push_back(static_cast<uint8_t>(h.type));
+  PutU16(out, h.flags);
+  PutU32(out, h.tenant_id);
+  PutU32(out, h.deadline_ms);
+  PutU64(out, h.request_id);
+  PutU32(out, h.payload_len);
+  PutU32(out, h.payload_crc);
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+void FrameReader::Append(const uint8_t* data, size_t len) {
+  // Compact the consumed prefix before growing: a long-lived connection
+  // must not accumulate every byte it ever received.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  if (!poisoned_.ok()) return poisoned_;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    return std::optional<Frame>(std::nullopt);
+  }
+  const uint8_t* p = buf_.data() + pos_;
+  if (GetU32(p) != kFrameMagic) {
+    poisoned_ = Status::InvalidArgument("frame: bad magic");
+    return poisoned_;
+  }
+  FrameHeader h;
+  h.version = p[4];
+  if (h.version != kProtocolVersion) {
+    poisoned_ = Status::InvalidArgument(
+        "frame: unsupported protocol version " + std::to_string(h.version));
+    return poisoned_;
+  }
+  h.type = static_cast<FrameType>(p[5]);
+  h.flags = GetU16(p + 6);
+  h.tenant_id = GetU32(p + 8);
+  h.deadline_ms = GetU32(p + 12);
+  h.request_id = GetU64(p + 16);
+  h.payload_len = GetU32(p + 24);
+  h.payload_crc = GetU32(p + 28);
+  if (h.payload_len > max_payload_) {
+    poisoned_ = Status::ResourceExhausted(
+        "frame: declared payload " + std::to_string(h.payload_len) +
+        " bytes exceeds limit " + std::to_string(max_payload_));
+    return poisoned_;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + h.payload_len) {
+    return std::optional<Frame>(std::nullopt);
+  }
+  Frame f;
+  f.header = h;
+  f.payload.assign(p + kFrameHeaderBytes,
+                   p + kFrameHeaderBytes + h.payload_len);
+  if (Crc32c(f.payload.data(), f.payload.size()) != h.payload_crc) {
+    poisoned_ = Status::Corruption("frame: payload CRC mismatch");
+    return poisoned_;
+  }
+  pos_ += kFrameHeaderBytes + h.payload_len;
+  return std::optional<Frame>(std::move(f));
+}
+
+}  // namespace chunkcache::server

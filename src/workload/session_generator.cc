@@ -73,4 +73,31 @@ StarJoinQuery SessionGenerator::Next() {
   return fine;
 }
 
+uint64_t HashQuery(const StarJoinQuery& q, uint64_t seed) {
+  uint64_t acc = seed;
+  auto mix = [&acc](uint64_t v) { acc = (acc ^ v) * 0x100000001b3ULL; };
+  mix(q.group_by.num_dims);
+  for (uint32_t d = 0; d < q.group_by.num_dims; ++d) {
+    mix(q.group_by.levels[d]);
+    mix(q.selection[d].begin);
+    mix(q.selection[d].end);
+  }
+  mix(q.non_group_by.size());
+  for (const auto& pred : q.non_group_by) {
+    mix(pred.dim);
+    mix(pred.level);
+    mix(pred.range.begin);
+    mix(pred.range.end);
+  }
+  return acc;
+}
+
+uint64_t SessionStreamHash(const schema::StarSchema& schema,
+                           const SessionOptions& options, size_t n) {
+  SessionGenerator gen(&schema, options);
+  uint64_t acc = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) acc = HashQuery(gen.Next(), acc);
+  return acc;
+}
+
 }  // namespace chunkcache::workload

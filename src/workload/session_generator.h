@@ -30,6 +30,12 @@ struct SessionOptions {
 };
 
 /// Deterministic generator of drill-down / roll-up session pairs.
+///
+/// Determinism contract (the serving harness leans on this): the stream is
+/// a pure function of (schema, options) — the generator owns its Random,
+/// touches no global or time-dependent state, and is oblivious to how many
+/// threads consume the queries downstream. SessionStreamHash pins the
+/// contract with a golden hash in workload_test.
 class SessionGenerator {
  public:
   SessionGenerator(const schema::StarSchema* schema, SessionOptions options);
@@ -51,6 +57,18 @@ class SessionGenerator {
   std::optional<backend::StarJoinQuery> pending_;
   bool last_started_ = false;
 };
+
+/// Order-sensitive FNV-1a over one query's normalized fields; chain over a
+/// stream by passing the previous hash as `seed`.
+uint64_t HashQuery(const backend::StarJoinQuery& q, uint64_t seed);
+
+/// Hash of the first `n` queries a fresh SessionGenerator(schema, options)
+/// emits. Two runs (any machine, any consumer thread count) agree on this
+/// value iff they saw the identical query stream — the regression tests
+/// compare it against a golden constant, and bench_serving records it so a
+/// latency difference can never be explained away by workload drift.
+uint64_t SessionStreamHash(const schema::StarSchema& schema,
+                           const SessionOptions& options, size_t n);
 
 }  // namespace chunkcache::workload
 

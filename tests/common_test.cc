@@ -16,6 +16,7 @@
 #include "common/simd.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/token_bucket.h"
 
 namespace chunkcache {
 namespace {
@@ -578,6 +579,62 @@ TEST(SimdTest, WordKernelsMatchScalarAtEveryLength) {
       EXPECT_EQ(or_got, or_ref) << "n=" << n;
       EXPECT_EQ(simd::PopcountWords(a.data(), n), pop_ref) << "n=" << n;
     }
+  }
+}
+
+// ------------------------------ TokenBucket ---------------------------------
+
+TEST(TokenBucketTest, StartsFullAndDrainsToEmpty) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_FALSE(bucket.TryAcquire(0));  // burst exhausted, no time passed
+}
+
+TEST(TokenBucketTest, RefillsAtRateUpToBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/3.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(bucket.TryAcquire(0));
+  // 10 tokens/s: one full token exists 100 ms later, not at 50 ms.
+  EXPECT_FALSE(bucket.TryAcquire(50'000'000));
+  EXPECT_TRUE(bucket.TryAcquire(100'000'000));
+  EXPECT_FALSE(bucket.TryAcquire(100'000'000));
+  // A long idle period banks at most `burst` tokens.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(3'600'000'000'000ull), 3.0);
+}
+
+TEST(TokenBucketTest, BackwardsTimeMintsNothing) {
+  TokenBucket bucket(/*rate_per_sec=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.TryAcquire(5'000'000'000ull));
+  // An earlier timestamp (admission-mutex reordering) must not refill.
+  EXPECT_FALSE(bucket.TryAcquire(1'000'000'000ull));
+  EXPECT_FALSE(bucket.TryAcquire(5'500'000'000ull));
+  EXPECT_TRUE(bucket.TryAcquire(6'000'000'000ull));
+}
+
+TEST(TokenBucketTest, ZeroRateIsUnlimited) {
+  TokenBucket bucket(/*rate_per_sec=*/0.0, /*burst=*/1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryAcquire(0));
+}
+
+TEST(TokenBucketTest, FractionalCostAndMinimumBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/5.0, /*burst=*/0.0);  // clamped to 1
+  EXPECT_DOUBLE_EQ(bucket.burst(), 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0, /*cost=*/0.5));
+  EXPECT_TRUE(bucket.TryAcquire(0, /*cost=*/0.5));
+  EXPECT_FALSE(bucket.TryAcquire(0, /*cost=*/0.5));
+}
+
+TEST(TokenBucketTest, DeterministicDecisionSequence) {
+  // The admission story leans on exact reproducibility: two buckets fed the
+  // same (now_ns, cost) schedule decide identically, call for call.
+  TokenBucket a(7.0, 2.0), b(7.0, 2.0);
+  Random rng(99);
+  uint64_t now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += rng.Uniform(300'000'000);
+    const double cost = 0.25 * static_cast<double>(1 + rng.Uniform(4));
+    EXPECT_EQ(a.TryAcquire(now, cost), b.TryAcquire(now, cost)) << i;
   }
 }
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "schema/synthetic.h"
 #include "workload/query_generator.h"
@@ -226,6 +229,56 @@ TEST_F(GeneratorFixture, SessionWidthsRespectOptions) {
     for (uint32_t d = 0; d < 4; ++d) {
       EXPECT_EQ(q.selection[d].size(), 3u);
     }
+  }
+}
+
+TEST_F(GeneratorFixture, SessionStreamHashMatchesGolden) {
+  // Golden hash of the default serving workload stream (seed 1, 256
+  // queries). This pins the generator's output bit-for-bit across runs and
+  // platforms: if a refactor reorders rng draws or changes rounding, this
+  // fails before any latency comparison is silently invalidated.
+  SessionOptions opts;
+  const uint64_t h = SessionStreamHash(*schema_, opts, 256);
+  EXPECT_EQ(h, 0x9b4c4f7dabfb92f0ull);
+  // And the hash is a pure function: a second fresh generator agrees.
+  EXPECT_EQ(SessionStreamHash(*schema_, opts, 256), h);
+}
+
+TEST_F(GeneratorFixture, SessionStreamIndependentOfConsumerThreads) {
+  // The serving harness generates on one thread and fans queries out to a
+  // variable number of client threads. The stream must be a function of
+  // (schema, options) only — materialize it once, then check that hashing
+  // any prefix from a shared vector consumed by 1, 2, or 8 threads sees
+  // the identical queries (i.e. generation happened before, and
+  // independently of, consumption).
+  SessionOptions opts;
+  opts.seed = 42;
+  SessionGenerator gen(schema_.get(), opts);
+  std::vector<StarJoinQuery> stream;
+  for (int i = 0; i < 128; ++i) stream.push_back(gen.Next());
+
+  uint64_t want = 0xcbf29ce484222325ull;
+  for (const auto& q : stream) want = HashQuery(q, want);
+  EXPECT_EQ(SessionStreamHash(*schema_, opts, 128), want);
+
+  for (int threads : {1, 2, 8}) {
+    std::atomic<uint64_t> consumed{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    SessionGenerator replay(schema_.get(), opts);
+    std::vector<StarJoinQuery> replayed;
+    for (int i = 0; i < 128; ++i) replayed.push_back(replay.Next());
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const uint64_t i = consumed.fetch_add(1);
+          if (i >= stream.size()) return;
+          if (!(stream[i] == replayed[i])) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(mismatches.load(), 0) << "threads=" << threads;
   }
 }
 
